@@ -1,0 +1,70 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Every module regenerates one table or figure of the paper (see DESIGN.md's
+experiment index).  Each writes its rows to ``benchmarks/results/`` and
+prints them, so a full ``pytest benchmarks/ --benchmark-only`` run leaves
+a complete paper-vs-measured record behind.
+
+The suite scale is controlled by ``REPRO_BENCH_PROFILE`` (default
+``tiny``; set ``bench`` or ``full`` for higher-fidelity, slower runs) and
+``REPRO_BENCH_K`` (suite size, default 15).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.benchmark import vbench_suite
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+PROFILE = os.environ.get("REPRO_BENCH_PROFILE", "tiny")
+SUITE_K = int(os.environ.get("REPRO_BENCH_K", "15"))
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "2017"))
+
+
+@pytest.fixture(scope="session")
+def suite():
+    """The vbench suite at the configured benchmark scale."""
+    return vbench_suite(profile=PROFILE, k=SUITE_K, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def hw_vod_reports(suite):
+    """VOD-scenario runs for both GPU models (shared: bisection is the
+    most expensive computation in the whole harness)."""
+    from repro.core.benchmark import run_scenario
+    from repro.core.scenarios import Scenario
+
+    return {
+        backend: run_scenario(suite, Scenario.VOD, backend, bisect_iterations=7)
+        for backend in ("nvenc", "qsv")
+    }
+
+
+@pytest.fixture(scope="session")
+def hw_live_reports(suite):
+    """Live-scenario runs for both GPU models."""
+    from repro.core.benchmark import run_scenario
+    from repro.core.scenarios import Scenario
+
+    return {
+        backend: run_scenario(suite, Scenario.LIVE, backend)
+        for backend in ("nvenc", "qsv")
+    }
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: Path, name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    banner = f"\n===== {name} =====\n"
+    print(banner + text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")

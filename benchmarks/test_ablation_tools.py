@@ -1,0 +1,101 @@
+"""Ablations of the codec's design choices (DESIGN.md's extension study).
+
+Not a paper table -- this quantifies, on suite content, what each tool
+the effort ladder toggles is actually worth, which is the mechanism every
+paper result rests on:
+
+* early skip: speed for free on static content;
+* CABAC vs CAVLC: entropy-coding bits;
+* adaptive 16x16 transform: bits on smooth content, never a regression
+  the decision can't refuse;
+* deblocking: reference quality in the coding loop;
+* sub-pel refinement: residual energy on moving content.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.codec.encoder import encode
+from repro.codec.presets import preset
+from repro.metrics.psnr import psnr
+from repro.simd.analysis import modeled_seconds
+
+
+def _pick(suite, low: bool):
+    ordered = sorted(suite, key=lambda v: v.entropy)
+    return (ordered[0] if low else ordered[-1]).video
+
+
+def _compute(suite):
+    calm = _pick(suite, low=True)
+    busy = _pick(suite, low=False)
+    base = preset("slow")
+    rows = []
+
+    def run(label, video, cfg, crf=26):
+        result = encode(video, config=cfg, crf=crf)
+        rows.append(
+            (
+                label,
+                video.name,
+                len(result.bitstream),
+                psnr(video, result.recon),
+                modeled_seconds(result.counters),
+            )
+        )
+
+    run("base", calm, base)
+    run("base", busy, base)
+    run("no-early-skip", calm, base.derived(early_skip=False))
+    run("no-early-skip", busy, base.derived(early_skip=False))
+    run("cavlc", busy, base.derived(entropy_coder="cavlc"))
+    run("adaptive-t16", calm, base.derived(transform_size=16))
+    run("adaptive-t16", busy, base.derived(transform_size=16))
+    run("no-deblock", busy, base.derived(deblock=False))
+    run("no-subpel", busy, base.derived(subpel_depth=0))
+    return rows
+
+
+def _render(rows):
+    lines = [f"{'ablation':<14} {'video':<12} {'bytes':>8} {'PSNR':>7} {'sec':>9}"]
+    for label, name, size, quality, seconds in rows:
+        lines.append(
+            f"{label:<14} {name:<12} {size:>8d} {quality:>7.2f} {seconds:>9.4f}"
+        )
+    return "\n".join(lines)
+
+
+def _find(rows, label, name=None):
+    for row in rows:
+        if row[0] == label and (name is None or row[1] == name):
+            return row
+    raise AssertionError(f"missing ablation row {label}/{name}")
+
+
+def test_ablation_tools(benchmark, suite, results_dir):
+    rows = benchmark.pedantic(_compute, args=(suite,), rounds=1, iterations=1)
+    emit(results_dir, "ablation_tools", _render(rows))
+
+    calm_name = rows[0][1]
+    busy_name = rows[1][1]
+
+    # Early skip: buys time on low-entropy content, never breaks decode.
+    base_calm = _find(rows, "base", calm_name)
+    noskip_calm = _find(rows, "no-early-skip", calm_name)
+    assert base_calm[4] <= noskip_calm[4]
+
+    # CABAC beats CAVLC on bits at equal quality settings.
+    base_busy = _find(rows, "base", busy_name)
+    cavlc_busy = _find(rows, "cavlc", busy_name)
+    assert base_busy[2] < cavlc_busy[2]
+
+    # The adaptive large transform never regresses bits materially.
+    for name in (calm_name, busy_name):
+        base_row = _find(rows, "base", name)
+        t16_row = _find(rows, "adaptive-t16", name)
+        assert t16_row[2] <= base_row[2] * 1.03
+
+    # Sub-pel refinement earns its cycles: smaller stream on motion.
+    nosub_busy = _find(rows, "no-subpel", busy_name)
+    assert base_busy[2] < nosub_busy[2] * 1.02
+    assert base_busy[4] > nosub_busy[4] * 0.9

@@ -1,0 +1,63 @@
+"""Extension: the AV1-class encoder on the Popular scenario.
+
+Section 6.2 closes by predicting the compression trend "is expected to
+continue with the release of the AV1 codec by the end of the year".  This
+benchmark runs that prediction: the AV1-class backend (every tool at its
+highest setting plus the two-frame reference list) against the same
+x264-veryslow Popular reference, on a subset of the suite for runtime.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.core.benchmark import BenchmarkSuite, run_scenario
+from repro.core.scenarios import Scenario
+
+
+def _subset(suite, n=6):
+    ordered = sorted(suite.videos, key=lambda v: v.entropy)
+    stride = max(1, len(ordered) // n)
+    videos = ordered[::stride][:n]
+    return BenchmarkSuite(
+        videos=videos, profile=suite.profile, seed=suite.seed,
+        references=suite.references,
+    )
+
+
+def _compute(suite):
+    sub = _subset(suite)
+    return sub, {
+        backend: run_scenario(sub, Scenario.POPULAR, backend, bisect_iterations=6)
+        for backend in ("x265", "av1")
+    }
+
+
+def _render(sub, reports):
+    lines = [
+        f"{'video':<14} {'entropy':>8} "
+        f"{'Q_x265':>7} {'B_x265':>7} {'Pop':>6}  {'Q_av1':>7} {'B_av1':>7} {'Pop':>6}"
+    ]
+    for i, entry in enumerate(sub):
+        def cells(backend):
+            s = reports[backend].scores[i]
+            pop = f"{s.score:6.2f}" if s.score is not None else f"{'-':>6}"
+            return f"{s.ratios.quality:7.3f} {s.ratios.bitrate:7.2f} {pop}"
+        lines.append(
+            f"{entry.name:<14} {entry.entropy:>8.1f} "
+            f"{cells('x265')}  {cells('av1')}"
+        )
+    return "\n".join(lines)
+
+
+def test_ext_av1_popular(benchmark, suite, results_dir):
+    sub, reports = benchmark.pedantic(_compute, args=(suite,), rounds=1, iterations=1)
+    emit(results_dir, "ext_av1_popular", _render(sub, reports))
+
+    av1 = reports["av1"]
+    x265 = reports["x265"]
+    # The next generation keeps scoring (valid entries at B, Q >= 1)...
+    assert len(av1.valid_scores()) >= 1
+    # ...and its mean bitrate ratio does not regress against x265-class.
+    def mean_b(report):
+        return np.mean([s.ratios.bitrate for s in report.scores])
+    assert mean_b(av1) > mean_b(x265) - 0.08

@@ -1,0 +1,33 @@
+"""Figure 1: YouTube upload growth vs CPU performance growth.
+
+Regenerates both normalized growth series (base mid-2007) and checks the
+figure's claim: uploads outgrow SPECrate by a large factor by 2016.
+"""
+
+from conftest import emit
+
+from repro.core.motivation import (
+    SPECRATE_MEDIAN,
+    YOUTUBE_HOURS_PER_MINUTE,
+    growth_gap,
+    growth_since,
+)
+
+
+def _render() -> str:
+    uploads = dict(growth_since(YOUTUBE_HOURS_PER_MINUTE))
+    cpus = dict(growth_since(SPECRATE_MEDIAN))
+    lines = [f"{'year':>6} {'uploads_x':>10} {'specrate_x':>11}"]
+    for year in sorted(uploads):
+        lines.append(f"{year:>6} {uploads[year]:>10.2f} {cpus[year]:>11.2f}")
+    lines.append(f"growth gap 2007->2016: {growth_gap():.1f}x")
+    return "\n".join(lines)
+
+
+def test_fig1_growth(benchmark, results_dir):
+    text = benchmark(_render)
+    emit(results_dir, "fig1_growth", text)
+    # Paper shape: uploads grew ~80x, CPUs ~14x; the gap is large.
+    assert growth_gap() > 3.0
+    uploads = dict(growth_since(YOUTUBE_HOURS_PER_MINUTE))
+    assert uploads[2016] > 50.0

@@ -1,0 +1,81 @@
+"""Figure 2: quality and speed versus bitrate for three encoders.
+
+Sweeps target bitrates over one HD clip for the x264-, x265- and
+vp9-class encoders, regenerating both panels: PSNR-vs-bitrate (top) and
+speed-vs-bitrate (bottom).  The paper's reading must hold: the newer
+codecs sit on a better RD curve, and they pay for it with a multiple of
+the compute.
+"""
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro.corpus.category import VideoCategory
+from repro.corpus.synthetic import video_for_category
+from repro.encoders import RateSpec, get_transcoder
+
+BACKENDS = ("x264:medium", "x265", "vp9")
+#: Bitrate sweep in bits/pixel/second of the *stand-in* clip.
+SWEEP_BPPS = (0.3, 0.6, 1.2, 2.4, 4.8)
+
+
+@pytest.fixture(scope="module")
+def hd_clip():
+    # An HD-category natural clip (Big Buck Bunny stands in the paper).
+    category = VideoCategory(1920, 1080, 24, 16.0)
+    return video_for_category(category, profile="tiny", seed=7, name="bbb")
+
+
+def _sweep(clip):
+    rows = []
+    for spec in BACKENDS:
+        backend = get_transcoder(spec)
+        for bpps in SWEEP_BPPS:
+            bitrate = bpps * clip.frame_pixels
+            result = backend.transcode(
+                clip, RateSpec.for_bitrate(bitrate, two_pass=True)
+            )
+            rows.append(
+                (
+                    backend.name,
+                    result.bits_per_pixel_second,
+                    result.quality_db,
+                    result.speed_mpixels,
+                )
+            )
+    return rows
+
+
+def _render(rows):
+    lines = [f"{'encoder':<16} {'bit/px/s':>9} {'PSNR(dB)':>9} {'Mpx/s':>8}"]
+    for name, bpps, q, s in rows:
+        lines.append(f"{name:<16} {bpps:>9.3f} {q:>9.2f} {s:>8.2f}")
+    return "\n".join(lines)
+
+
+def test_fig2_rd_curves(benchmark, hd_clip, results_dir):
+    rows = benchmark.pedantic(_sweep, args=(hd_clip,), rounds=1, iterations=1)
+    emit(results_dir, "fig2_rd_curves", _render(rows))
+
+    by_backend = {}
+    for name, bpps, q, s in rows:
+        by_backend.setdefault(name, []).append((bpps, q, s))
+
+    # Panel 1 shape: at every matched operating point, the newer codecs'
+    # quality is at least x264's (they sit on a better or equal RD curve).
+    for i in range(len(SWEEP_BPPS)):
+        x264_q = by_backend["x264-medium"][i][1]
+        for newer in ("x265-veryslow", "vp9-veryslow"):
+            assert by_backend[newer][i][1] > x264_q - 0.35
+
+    # Panel 2 shape: the newer codecs cost a multiple of the compute.
+    x264_speed = np.mean([r[2] for r in by_backend["x264-medium"]])
+    for newer in ("x265-veryslow", "vp9-veryslow"):
+        newer_speed = np.mean([r[2] for r in by_backend[newer]])
+        assert newer_speed < x264_speed / 1.5
+
+    # Quality grows with bitrate along every curve.
+    for series in by_backend.values():
+        qualities = [q for _, q, _ in series]
+        assert qualities == sorted(qualities)

@@ -1,0 +1,52 @@
+"""Figure 7: scalar vs AVX2 cycle fraction as a function of entropy.
+
+Encodes the suite (VOD operating point) and attributes modeled cycles to
+ISA generations.  Paper shape: over half of the cycles are scalar at
+every entropy, and under ~20% can exploit AVX2's width -- the Amdahl wall
+of Section 5.2.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.codec.encoder import encode
+from repro.simd.analysis import scalar_fraction, vector_fraction_by_isa
+from repro.simd.isa import IsaLevel
+
+
+def _compute(suite):
+    rows = []
+    for entry in suite:
+        result = encode(entry.video, config="medium", crf=23)
+        fractions = vector_fraction_by_isa(result.counters)
+        rows.append(
+            (
+                entry.name,
+                entry.entropy,
+                scalar_fraction(result.counters),
+                fractions[IsaLevel.AVX2],
+            )
+        )
+    return rows
+
+
+def _render(rows):
+    lines = [f"{'video':<14} {'entropy':>8} {'scalar':>8} {'avx2':>7}"]
+    for name, entropy, scalar, avx2 in rows:
+        lines.append(f"{name:<14} {entropy:>8.1f} {scalar:>8.3f} {avx2:>7.3f}")
+    return "\n".join(lines)
+
+
+def test_fig7_simd_fraction(benchmark, suite, results_dir):
+    rows = benchmark.pedantic(_compute, args=(suite,), rounds=1, iterations=1)
+    emit(results_dir, "fig7_simd_fraction", _render(rows))
+
+    scalars = [r[2] for r in rows]
+    avx2s = [r[3] for r in rows]
+    # Over half the cycles are scalar for every video.
+    assert min(scalars) > 0.5
+    # AVX2-capable code is a small minority everywhere.
+    assert max(avx2s) < 0.25
+    # Fractions are fractions.
+    for scalar, avx2 in zip(scalars, avx2s):
+        assert 0 <= avx2 <= 1 and 0 <= scalar <= 1

@@ -1,0 +1,63 @@
+"""Figure 8: cycle breakdown across SIMD instruction-set generations.
+
+One representative encode, re-timed with each ISA generation enabled in
+turn, cycles attributed to the generation actually used.  The paper's
+three findings are asserted: the scalar share is stable (and dominant)
+from SSE2 on; the SSE2->AVX2 total gain is small (~15%); and a 2x-wider
+AVX2 would buy less than 10% (Amdahl).
+"""
+
+from conftest import emit
+
+from repro.codec.encoder import encode
+from repro.simd.analysis import amdahl_speedup_bound, isa_breakdown
+from repro.simd.isa import ISA_LADDER, IsaLevel
+
+
+def _compute(suite):
+    # A mid-entropy suite member exercises every kernel.
+    entry = sorted(suite, key=lambda v: v.entropy)[len(suite) // 2]
+    result = encode(entry.video, config="medium", crf=23)
+    return result.counters, isa_breakdown(result.counters), entry.name
+
+
+def _render(counters, rows, name):
+    avx2_total = sum(rows[IsaLevel.AVX2].values())
+    lines = [
+        f"video: {name} (cycles normalized to the AVX2 row)",
+        f"{'enabled':<8} {'total':>7} " + " ".join(
+            f"{level.name.lower():>7}" for level in ISA_LADDER
+        ),
+    ]
+    for enabled in ISA_LADDER:
+        row = rows[enabled]
+        total = sum(row.values()) / avx2_total
+        cells = " ".join(f"{row[l] / avx2_total:>7.2f}" for l in ISA_LADDER)
+        lines.append(f"{enabled.name.lower():<8} {total:>7.2f} {cells}")
+    lines.append(
+        f"amdahl bound for 2x wider AVX2: "
+        f"{amdahl_speedup_bound(counters):.3f}x"
+    )
+    return "\n".join(lines)
+
+
+def test_fig8_isa_breakdown(benchmark, suite, results_dir):
+    counters, rows, name = benchmark.pedantic(
+        _compute, args=(suite,), rounds=1, iterations=1
+    )
+    emit(results_dir, "fig8_isa_breakdown", _render(counters, rows, name))
+
+    totals = {level: sum(rows[level].values()) for level in ISA_LADDER}
+    # Enabling newer ISAs never slows the encode.
+    ordered = [totals[level] for level in ISA_LADDER]
+    assert all(a >= b for a, b in zip(ordered, ordered[1:]))
+    # SSE2 -> AVX2: a modest gain (the paper measured ~15%).
+    assert 1.0 <= totals[IsaLevel.SSE2] / totals[IsaLevel.AVX2] < 1.6
+    # Scalar cycles are identical from SSE4 on and dominate the total.
+    scalar_share = rows[IsaLevel.AVX2][IsaLevel.SCALAR] / totals[IsaLevel.AVX2]
+    assert scalar_share > 0.5
+    # AVX2-attributed cycles are a small slice.
+    avx2_share = rows[IsaLevel.AVX2][IsaLevel.AVX2] / totals[IsaLevel.AVX2]
+    assert avx2_share < 0.25
+    # Amdahl: 2x wider SIMD buys less than 10%.
+    assert amdahl_speedup_bound(counters) < 1.10

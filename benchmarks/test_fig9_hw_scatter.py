@@ -1,0 +1,47 @@
+"""Figure 9: NVENC and QSV on the VOD and Live scoring planes.
+
+The figure plots the same runs Tables 3/4 list: (S, B) per video on the
+VOD plane and (B, Q) on the Live plane, gains shaded.  This benchmark
+emits the scatter series and asserts the figure's reading: VOD adoption
+is a trade (speed gained, compression lost), Live adoption is a win on
+both axes for most videos.
+"""
+
+import numpy as np
+from conftest import emit
+
+
+def _render(hw_vod, hw_live):
+    lines = ["VOD plane: (S, B) per video"]
+    for backend in ("nvenc", "qsv"):
+        for s in hw_vod[backend].scores:
+            lines.append(
+                f"  {backend:<6} {s.video_name:<14} "
+                f"S={s.ratios.speed:7.2f} B={s.ratios.bitrate:5.2f}"
+            )
+    lines.append("Live plane: (B, Q) per video")
+    for backend in ("nvenc", "qsv"):
+        for s in hw_live[backend].scores:
+            lines.append(
+                f"  {backend:<6} {s.video_name:<14} "
+                f"B={s.ratios.bitrate:5.2f} Q={s.ratios.quality:6.3f}"
+            )
+    return "\n".join(lines)
+
+
+def test_fig9_hw_scatter(benchmark, hw_vod_reports, hw_live_reports, results_dir):
+    text = benchmark.pedantic(
+        _render, args=(hw_vod_reports, hw_live_reports), rounds=1, iterations=1
+    )
+    emit(results_dir, "fig9_hw_scatter", text)
+
+    for backend in ("nvenc", "qsv"):
+        vod = hw_vod_reports[backend].scores
+        live = hw_live_reports[backend].scores
+        # VOD: speedups offset by compression losses (the shaded trade).
+        assert np.mean([s.ratios.speed for s in vod]) > 3.0
+        assert np.mean([s.ratios.bitrate for s in vod]) < 1.05
+        # Live: quality held at reference while speed is free -- most
+        # videos sit in the gain region (B*Q >= ~1).
+        gains = [s.ratios.bitrate * s.ratios.quality for s in live]
+        assert np.median(gains) > 0.9

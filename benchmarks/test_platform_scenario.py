@@ -1,0 +1,46 @@
+"""The Platform scenario: same transcode, different machine.
+
+Re-times the suite's VOD reference transcodes under every ISA generation
+of the cycle model (the paper's compiler/architecture comparisons) and
+reports per-video S.  B = Q = 1 by construction.  The asserted shape is
+Figure 8's conclusion wearing its scenario hat: the SSE2 -> AVX2 platform
+win is real but modest, while losing SIMD entirely is catastrophic.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.core.benchmark import run_platform
+from repro.simd.isa import IsaLevel
+
+LEVELS = (IsaLevel.SCALAR, IsaLevel.SSE2, IsaLevel.SSE4, IsaLevel.AVX, IsaLevel.AVX2)
+
+
+def _compute(suite):
+    return {level: dict(run_platform(suite, isa=level)) for level in LEVELS}
+
+
+def _render(suite, results):
+    lines = [
+        f"{'video':<14} " + " ".join(f"{level.name.lower():>8}" for level in LEVELS)
+    ]
+    for entry in suite:
+        cells = " ".join(f"{results[level][entry.name]:>8.3f}" for level in LEVELS)
+        lines.append(f"{entry.name:<14} {cells}")
+    return "\n".join(lines)
+
+
+def test_platform_scenario(benchmark, suite, results_dir):
+    results = benchmark.pedantic(_compute, args=(suite,), rounds=1, iterations=1)
+    emit(results_dir, "platform_scenario", _render(suite, results))
+
+    for entry in suite:
+        speedups = [results[level][entry.name] for level in LEVELS]
+        # Monotone: newer platforms never lose.
+        assert all(a <= b + 1e-12 for a, b in zip(speedups, speedups[1:]))
+        # AVX2 is the baseline.
+        assert results[IsaLevel.AVX2][entry.name] == 1.0
+    scalar = np.mean([results[IsaLevel.SCALAR][e.name] for e in suite])
+    sse2 = np.mean([results[IsaLevel.SSE2][e.name] for e in suite])
+    assert scalar < 0.5       # no-SIMD platform is far slower
+    assert sse2 > 1.0 / 1.6   # SSE2 is within ~60% of AVX2 (paper: ~15%)

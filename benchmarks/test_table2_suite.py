@@ -1,0 +1,42 @@
+"""Table 2: the algorithmically selected benchmark suite.
+
+Runs the full selection pipeline (synthetic corpus -> weighted k-means ->
+mode representatives -> rendered clips -> re-measured entropy) and prints
+the suite table.  The asserted shape follows the paper's: a handful of
+resolutions dominated by the 480p-1080p ladder, framerates from the
+common set, and entropies spanning more than a decade.
+"""
+
+from collections import Counter
+
+from conftest import PROFILE, SEED, SUITE_K, emit
+
+from repro.core.benchmark import vbench_suite
+
+
+def _build():
+    return vbench_suite(profile=PROFILE, k=SUITE_K, seed=SEED)
+
+
+def _render(suite):
+    lines = [f"{'resolution':<12} {'name':<14} {'fps':>4} {'entropy':>8}"]
+    for res, name, fps, entropy in suite.table2():
+        lines.append(f"{res:<12} {name:<14} {fps:>4} {entropy:>8.1f}")
+    return "\n".join(lines)
+
+
+def test_table2_suite(benchmark, results_dir):
+    suite = benchmark.pedantic(_build, rounds=1, iterations=1)
+    emit(results_dir, "table2_suite", _render(suite))
+
+    assert len(suite) == SUITE_K
+    entropies = [v.entropy for v in suite]
+    assert max(entropies) / min(entropies) > 10  # multi-decade span
+
+    heights = Counter(v.nominal_resolution[1] for v in suite)
+    # The bulk of the suite sits in the delivery ladder's core rungs.
+    core = sum(n for h, n in heights.items() if 480 <= h <= 1080)
+    assert core >= SUITE_K // 2
+
+    framerates = {v.framerate for v in suite}
+    assert framerates <= {6, 12, 15, 24, 25, 30, 48, 50, 60}

@@ -1,0 +1,63 @@
+"""Table 3 (and Figure 9, VOD panel): hardware encoders on VOD.
+
+For each suite video, each GPU model's target bitrate is bisected until
+its quality matches the two-pass x264 reference, then speed (S) and
+bitrate (B) ratios and the S*B VOD score are reported.
+
+Asserted shape (the paper's): large speedups that grow with resolution,
+bitrate ratios below 1 (hardware pays in bits), QSV scores generally at
+or above NVENC's, and most videos producing valid VOD scores.
+"""
+
+import numpy as np
+from conftest import emit
+
+
+
+
+
+def _render(suite, reports):
+    lines = [
+        f"{'video':<14} {'res':>10} "
+        f"{'S_nv':>7} {'B_nv':>6} {'VOD_nv':>7} "
+        f"{'S_qs':>7} {'B_qs':>6} {'VOD_qs':>7}"
+    ]
+    for i, entry in enumerate(suite):
+        nv = reports["nvenc"].scores[i]
+        qs = reports["qsv"].scores[i]
+        def cell(s):
+            return f"{s.score:7.2f}" if s.score is not None else f"{'-':>7}"
+        res = f"{entry.nominal_resolution[0]}x{entry.nominal_resolution[1]}"
+        lines.append(
+            f"{entry.name:<14} {res:>10} "
+            f"{nv.ratios.speed:7.2f} {nv.ratios.bitrate:6.2f} {cell(nv)} "
+            f"{qs.ratios.speed:7.2f} {qs.ratios.bitrate:6.2f} {cell(qs)}"
+        )
+    return "\n".join(lines)
+
+
+def test_table3_vod_hw(benchmark, suite, hw_vod_reports, results_dir):
+    reports = hw_vod_reports
+    text = benchmark.pedantic(_render, args=(suite, reports), rounds=1, iterations=1)
+    emit(results_dir, "table3_vod_hw", text)
+
+    for backend in ("nvenc", "qsv"):
+        scores = reports[backend].scores
+        # Hardware is much faster than the 2-pass software reference.
+        assert all(s.ratios.speed > 1.5 for s in scores)
+        # ...but needs more bits at matched quality, on average (B < 1).
+        mean_b = np.mean([s.ratios.bitrate for s in scores])
+        assert mean_b < 1.05
+        # Most rows are valid VOD entries (Table 3 has no empty cells).
+        assert len(reports[backend].valid_scores()) >= len(scores) * 0.6
+
+    # Speedups grow with resolution (Table 3's headline trend).
+    pixels = np.array([v.nominal_pixels for v in (e.video for e in suite)])
+    for backend in ("nvenc", "qsv"):
+        speeds = np.array([s.ratios.speed for s in reports[backend].scores])
+        assert np.corrcoef(np.log(pixels), np.log(speeds))[0, 1] > 0.3
+
+    # QSV is generally the faster engine.
+    nv_speed = np.mean([s.ratios.speed for s in reports["nvenc"].scores])
+    qs_speed = np.mean([s.ratios.speed for s in reports["qsv"].scores])
+    assert qs_speed > nv_speed

@@ -1,0 +1,58 @@
+"""Table 4 (and Figure 9, Live panel): hardware encoders on Live.
+
+Each GPU transcodes at the live reference's bitrate target in a single
+pass; the reference had to degrade its effort to hold real time, so the
+hardware -- which does not -- should match quality (Q ~= 1) while often
+*beating* the reference's bitrate (B >= 1): "using GPUs in this case
+generally incurs no tradeoffs".
+"""
+
+import numpy as np
+from conftest import emit
+
+
+
+
+
+def _render(suite, reports):
+    lines = [
+        f"{'video':<14} {'res':>10} "
+        f"{'Q_nv':>6} {'B_nv':>6} {'Live_nv':>8} "
+        f"{'Q_qs':>6} {'B_qs':>6} {'Live_qs':>8}"
+    ]
+    for i, entry in enumerate(suite):
+        nv = reports["nvenc"].scores[i]
+        qs = reports["qsv"].scores[i]
+        def cell(s):
+            return f"{s.score:8.2f}" if s.score is not None else f"{'-':>8}"
+        res = f"{entry.nominal_resolution[0]}x{entry.nominal_resolution[1]}"
+        lines.append(
+            f"{entry.name:<14} {res:>10} "
+            f"{nv.ratios.quality:6.3f} {nv.ratios.bitrate:6.2f} {cell(nv)} "
+            f"{qs.ratios.quality:6.3f} {qs.ratios.bitrate:6.2f} {cell(qs)}"
+        )
+    return "\n".join(lines)
+
+
+def test_table4_live_hw(benchmark, suite, hw_live_reports, results_dir):
+    reports = hw_live_reports
+    text = benchmark.pedantic(_render, args=(suite, reports), rounds=1, iterations=1)
+    emit(results_dir, "table4_live_hw", text)
+
+    for backend in ("nvenc", "qsv"):
+        scores = reports[backend].scores
+        # Real time holds essentially everywhere: hardware's home turf.
+        # (A 4K60 member may exceed this hardware generation's engine
+        # rate -- the paper's suite topped out at 4K30.)
+        misses = [s for s in scores if not s.constraint_met]
+        assert len(misses) <= max(1, len(scores) // 10)
+        # Quality stays at or above the degraded software reference.
+        qualities = [s.ratios.quality for s in scores]
+        assert np.mean(qualities) > 0.99
+        # Most videos show no bitrate sacrifice either (B >= ~1); the
+        # paper's exceptions are the low-entropy videos.
+        bs = np.array([s.ratios.bitrate for s in scores])
+        assert np.mean(bs >= 0.95) >= 0.5
+        # Scores (B*Q) land around or above 1: "an unqualified win".
+        valid = reports[backend].valid_scores()
+        assert np.mean(valid) > 0.9

@@ -1,0 +1,55 @@
+"""The Upload scenario: fast constant-quality ingest transcodes.
+
+Scores a fast software preset and a GPU against the medium CRF-18
+reference.  Upload rewards S*Q under a loose bitrate leash (B > 0.2):
+both candidates should post scores above 1 -- speed is cheap to buy when
+bits are nearly free, which is why services run their ingest pass fast.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.core.benchmark import run_scenario
+from repro.core.scenarios import Scenario
+
+
+def _compute(suite):
+    return {
+        backend: run_scenario(suite, Scenario.UPLOAD, backend)
+        for backend in ("x264:ultrafast", "qsv")
+    }
+
+
+def _render(suite, reports):
+    names = list(reports)
+    lines = [
+        f"{'video':<14} "
+        + " ".join(f"{'S':>7} {'B':>6} {'Q':>6} {'score':>7}" for _ in names)
+    ]
+    for i, entry in enumerate(suite):
+        cells = []
+        for name in names:
+            s = reports[name].scores[i]
+            score = f"{s.score:7.2f}" if s.score is not None else f"{'-':>7}"
+            cells.append(
+                f"{s.ratios.speed:7.2f} {s.ratios.bitrate:6.2f} "
+                f"{s.ratios.quality:6.3f} {score}"
+            )
+        lines.append(f"{entry.name:<14} " + " ".join(cells))
+    lines.insert(0, "columns: " + " | ".join(names))
+    return "\n".join(lines)
+
+
+def test_upload_scenario(benchmark, suite, results_dir):
+    reports = benchmark.pedantic(_compute, args=(suite,), rounds=1, iterations=1)
+    emit(results_dir, "upload_scenario", _render(suite, reports))
+
+    for name, report in reports.items():
+        # The loose bitrate leash holds everywhere (B > 0.2).
+        assert all(s.constraint_met for s in report.scores)
+        # Faster-at-equal-quality candidates score above 1 on average.
+        assert np.mean(report.valid_scores()) > 1.0
+        # Quality stays near the visually-lossless reference (the GPU
+        # toolset gives up a few percent on its hardest content).
+        assert all(s.ratios.quality > 0.85 for s in report.scores)
+        assert np.mean([s.ratios.quality for s in report.scores]) > 0.95

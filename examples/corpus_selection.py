@@ -1,0 +1,57 @@
+"""Corpus characterization and video selection (Section 4.1, Figure 4).
+
+Generates the synthetic commercial corpus, runs the weighted k-means
+selection, and compares the resulting suite's coverage against the
+public datasets the paper overlays in Figure 4.
+
+    python examples/corpus_selection.py
+"""
+
+from repro.core.coverage import compare_suites
+from repro.core.selection import select_categories
+from repro.corpus.category import VideoCategory
+from repro.corpus.datasets import coverage_set, dataset_categories
+from repro.corpus.synthetic import SyntheticCorpus
+
+
+def main() -> None:
+    corpus = SyntheticCorpus(seed=2017)
+    significant = corpus.significant_categories()
+    entropies = [c.entropy for c in significant]
+    print(
+        f"corpus: {len(corpus)} categories "
+        f"({len(significant)} significant), entropy "
+        f"{min(entropies):.2f}..{max(entropies):.1f} bit/px/s"
+    )
+
+    chosen = select_categories(significant, k=15, seed=2017)
+    print("\nselected categories (weighted k-means, mode per cluster):")
+    print(f"{'resolution':<12} {'fps':>4} {'entropy':>9} {'weight share':>13}")
+    total = corpus.total_weight
+    for cat in chosen:
+        print(
+            f"{cat.width}x{cat.height:<7} {cat.framerate:>4} "
+            f"{cat.entropy:>9.1f} {cat.weight / total:>12.2%}"
+        )
+
+    target = coverage_set(samples_per_combo=7)
+    suites = {
+        "vbench": [
+            VideoCategory(c.width, c.height, c.framerate, c.entropy)
+            for c in chosen
+        ],
+        "netflix": dataset_categories("netflix"),
+        "xiph": dataset_categories("xiph"),
+        "spec2017": dataset_categories("spec2017"),
+    }
+    print("\ncoverage of the corpus (lower gap = better, Figure 4):")
+    print(f"{'suite':<10} {'videos':>7} {'mean gap':>9} {'max gap':>8}")
+    for name, metrics in compare_suites(suites, target).items():
+        print(
+            f"{name:<10} {len(suites[name]):>7} "
+            f"{metrics.mean_gap:>9.3f} {metrics.max_gap:>8.3f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Live streaming study: why GPUs own the Live scenario (Section 6.1).
+
+Walks one clip through increasing nominal resolutions and shows how the
+software reference must descend the effort ladder to hold real time --
+degrading quality -- while the hardware encoder holds reference quality
+with headroom to spare.
+
+    python examples/live_streaming.py
+"""
+
+from repro.core.reference import ReferenceStore
+from repro.core.scenarios import Scenario, score_scenario
+from repro.encoders import NvencTranscoder, RateSpec
+from repro.video.synthesis import synthesize
+
+RESOLUTIONS = [(854, 480), (1280, 720), (1920, 1080), (3840, 2160)]
+
+
+def main() -> None:
+    refs = ReferenceStore()
+    hw = NvencTranscoder()
+    print(
+        f"{'stream':<12} {'need Mpx/s':>11} {'sw reference':<22} "
+        f"{'sw Mpx/s':>9} {'hw Mpx/s':>9} {'hw Q':>6} {'hw B':>6}"
+    )
+    for width, height in RESOLUTIONS:
+        clip = synthesize(
+            "gaming", 96, 56, 12, 30.0, seed=9, name=f"live{height}p"
+        ).with_nominal_resolution(width, height)
+        need = clip.nominal_pixel_rate / 1e6
+        reference = refs.reference(clip, Scenario.LIVE)
+        candidate = hw.transcode(
+            clip, RateSpec.for_bitrate(reference.rate.bitrate_bps)
+        )
+        score = score_scenario(Scenario.LIVE, candidate, reference.result)
+        print(
+            f"{height}p30{'':<7} {need:>11.1f} {reference.config_label:<22} "
+            f"{reference.result.speed_mpixels:>9.1f} "
+            f"{candidate.speed_mpixels:>9.1f} "
+            f"{score.ratios.quality:>6.3f} {score.ratios.bitrate:>6.2f}"
+        )
+    print(
+        "\nAs resolution grows the software ladder drops to faster, worse"
+        "\npresets to hold real time; the hardware encoder never has to."
+    )
+
+
+if __name__ == "__main__":
+    main()

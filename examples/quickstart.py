@@ -1,0 +1,35 @@
+"""Quickstart: build the vbench suite and score a backend on one scenario.
+
+Runs in about a minute at the ``tiny`` profile:
+
+    python examples/quickstart.py
+"""
+
+from repro import Scenario, run_scenario, vbench_suite
+from repro.core.reporting import format_scores
+
+
+def main() -> None:
+    print("Building the vbench suite (synthetic corpus -> weighted k-means")
+    print("-> 15 representative clips, entropy measured at CRF 18)...\n")
+    suite = vbench_suite(profile="tiny", k=15, seed=2017)
+
+    print(f"{'resolution':<12} {'name':<14} {'fps':>4} {'entropy':>9}")
+    for resolution, name, fps, entropy in suite.table2():
+        print(f"{resolution:<12} {name:<14} {fps:>4} {entropy:>9.1f}")
+
+    print("\nScoring the NVENC-class hardware encoder on the VOD scenario")
+    print("(bitrate bisected per video until quality matches the two-pass")
+    print("x264 reference; score = S x B, Table 1)...\n")
+    report = run_scenario(suite, Scenario.VOD, "nvenc", bisect_iterations=6)
+    print(format_scores(report.scores, title="VOD / nvenc"))
+
+    valid = report.valid_scores()
+    print(
+        f"\n{len(valid)}/{len(report.scores)} videos produced valid VOD "
+        f"scores; hardware trades compression (B < 1) for speed (S >> 1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,253 @@
+"""Command-line interface: the benchmark and the codec as shell tools.
+
+Invoke as ``python -m repro <command>`` (or the ``vbench-repro`` console
+script).  Commands:
+
+* ``suite``   -- build the suite and print its Table 2.
+* ``run``     -- score a backend under a scenario across the suite.
+* ``synth``   -- synthesize a clip of a content class to a Y4M file.
+* ``encode``  -- encode a Y4M file to a codec bitstream.
+* ``decode``  -- decode a bitstream back to Y4M.
+* ``entropy`` -- measure a clip's entropy (CRF-18 bits/pixel/second).
+* ``analyze`` -- microarchitecture + SIMD profile of encoding a clip.
+
+Every command prints human-readable rows to stdout and exits non-zero on
+invalid input, so the tools compose in shell pipelines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="vbench-repro",
+        description="vbench (ASPLOS 2018) reproduction: benchmark and codec tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    suite = sub.add_parser("suite", help="build the suite and print Table 2")
+    _suite_args(suite)
+
+    run = sub.add_parser("run", help="score a backend under a scenario")
+    _suite_args(run)
+    run.add_argument(
+        "--scenario",
+        required=True,
+        choices=["upload", "live", "vod", "popular"],
+    )
+    run.add_argument(
+        "--backend",
+        required=True,
+        help="backend spec, e.g. x264:medium, x265, vp9, nvenc, qsv",
+    )
+    run.add_argument("--bisect-iterations", type=int, default=6)
+
+    synth = sub.add_parser("synth", help="synthesize a clip to Y4M")
+    synth.add_argument("output", help="output .y4m path")
+    synth.add_argument("--content", default="natural")
+    synth.add_argument("--size", default="112x64", help="WxH, even dimensions")
+    synth.add_argument("--frames", type=int, default=14)
+    synth.add_argument("--fps", type=float, default=30.0)
+    synth.add_argument("--seed", type=int, default=0)
+
+    encode = sub.add_parser("encode", help="encode a Y4M file")
+    encode.add_argument("input", help="input .y4m path")
+    encode.add_argument("output", help="output bitstream path")
+    encode.add_argument("--preset", default="medium")
+    group = encode.add_mutually_exclusive_group()
+    group.add_argument("--crf", type=int)
+    group.add_argument("--bitrate", type=float, help="target bits/second")
+    encode.add_argument("--two-pass", action="store_true")
+
+    decode = sub.add_parser("decode", help="decode a bitstream to Y4M")
+    decode.add_argument("input", help="input bitstream path")
+    decode.add_argument("output", help="output .y4m path")
+
+    entropy = sub.add_parser("entropy", help="measure clip entropy")
+    entropy.add_argument("input", help="input .y4m path")
+
+    analyze = sub.add_parser("analyze", help="uarch + SIMD profile of a clip")
+    analyze.add_argument("input", help="input .y4m path")
+    analyze.add_argument("--preset", default="medium")
+    analyze.add_argument("--crf", type=int, default=23)
+    return parser
+
+
+def _suite_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--profile", default="tiny")
+    parser.add_argument("--k", type=int, default=15)
+    parser.add_argument("--seed", type=int, default=2017)
+
+
+# ---------------------------------------------------------------------------
+# Command implementations
+# ---------------------------------------------------------------------------
+
+
+def _cmd_suite(args) -> int:
+    from repro.core.benchmark import vbench_suite
+
+    suite = vbench_suite(profile=args.profile, k=args.k, seed=args.seed)
+    print(f"{'resolution':<12} {'name':<14} {'fps':>4} {'entropy':>9}")
+    for resolution, name, fps, entropy in suite.table2():
+        print(f"{resolution:<12} {name:<14} {fps:>4} {entropy:>9.1f}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.core.benchmark import run_scenario, vbench_suite
+    from repro.core.reporting import format_scores
+    from repro.core.scenarios import Scenario
+
+    suite = vbench_suite(profile=args.profile, k=args.k, seed=args.seed)
+    report = run_scenario(
+        suite,
+        Scenario(args.scenario),
+        args.backend,
+        bisect_iterations=args.bisect_iterations,
+    )
+    print(
+        format_scores(
+            report.scores,
+            title=f"scenario={args.scenario} backend={report.backend}",
+        )
+    )
+    return 0
+
+
+def _cmd_synth(args) -> int:
+    from repro.video.io import save_video
+    from repro.video.synthesis import synthesize
+
+    try:
+        width, height = (int(v) for v in args.size.lower().split("x"))
+    except ValueError:
+        print(f"error: --size must be WxH, got {args.size!r}", file=sys.stderr)
+        return 2
+    video = synthesize(
+        args.content, width, height, args.frames, args.fps, seed=args.seed
+    )
+    written = save_video(video, args.output)
+    print(f"wrote {args.output}: {video!r}, {written} bytes")
+    return 0
+
+
+def _cmd_encode(args) -> int:
+    from pathlib import Path
+
+    from repro.codec.encoder import encode
+    from repro.metrics.psnr import psnr
+    from repro.video.io import load_video
+
+    video = load_video(args.input)
+    kwargs = {}
+    if args.crf is None and args.bitrate is None:
+        kwargs["crf"] = 23
+    elif args.crf is not None:
+        kwargs["crf"] = args.crf
+    else:
+        kwargs["bitrate_bps"] = args.bitrate
+        kwargs["two_pass"] = args.two_pass
+    if args.two_pass and args.bitrate is None:
+        print("error: --two-pass needs --bitrate", file=sys.stderr)
+        return 2
+    result = encode(video, config=args.preset, **kwargs)
+    Path(args.output).write_bytes(result.bitstream)
+    rate = result.total_bits / video.duration
+    print(
+        f"wrote {args.output}: {len(result.bitstream)} bytes "
+        f"({rate:.0f} b/s), {result.keyframes} keyframes, "
+        f"PSNR {psnr(video, result.recon):.2f} dB"
+    )
+    return 0
+
+
+def _cmd_decode(args) -> int:
+    from pathlib import Path
+
+    from repro.codec.decoder import decode
+    from repro.video.io import save_video
+
+    video = decode(Path(args.input).read_bytes(), name=Path(args.input).stem)
+    save_video(video, args.output)
+    print(f"wrote {args.output}: {video!r}")
+    return 0
+
+
+def _cmd_entropy(args) -> int:
+    from repro.video.entropy import measure_entropy
+    from repro.video.io import load_video
+
+    video = load_video(args.input)
+    print(f"{measure_entropy(video):.3f} bit/pixel/second")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.codec.encoder import Encoder
+    from repro.codec.instrumentation import TraceRecorder
+    from repro.codec.ratecontrol import RateControl
+    from repro.simd.analysis import (
+        modeled_instructions,
+        modeled_seconds,
+        scalar_fraction,
+        vector_fraction_by_isa,
+    )
+    from repro.simd.isa import IsaLevel
+    from repro.uarch.cpu import CpuModel
+    from repro.uarch.topdown import top_down
+    from repro.video.io import load_video
+
+    video = load_video(args.input)
+    trace = TraceRecorder()
+    result = Encoder(args.preset, trace=trace).encode(
+        video, RateControl.crf(args.crf)
+    )
+    profile = CpuModel().run_trace(trace, modeled_instructions(result.counters))
+    breakdown = top_down(result.counters, profile)
+    fractions = vector_fraction_by_isa(result.counters)
+    seconds = modeled_seconds(result.counters)
+    print(f"modeled time     {seconds * 1e3:10.3f} ms "
+          f"({video.pixels / seconds / 1e6:.2f} Mpx/s)")
+    print(f"icache MPKI      {profile.icache_mpki:10.2f}")
+    print(f"branch MPKI      {profile.branch_mpki:10.2f}")
+    print(f"LLC MPKI         {profile.llc_mpki:10.3f}")
+    for bucket, value in breakdown.as_dict().items():
+        print(f"topdown {bucket:<8} {value:10.3f}")
+    print(f"scalar fraction  {scalar_fraction(result.counters):10.3f}")
+    print(f"avx2 fraction    {fractions[IsaLevel.AVX2]:10.3f}")
+    return 0
+
+
+_COMMANDS = {
+    "suite": _cmd_suite,
+    "run": _cmd_run,
+    "synth": _cmd_synth,
+    "encode": _cmd_encode,
+    "decode": _cmd_decode,
+    "entropy": _cmd_entropy,
+    "analyze": _cmd_analyze,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

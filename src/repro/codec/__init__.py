@@ -1,0 +1,34 @@
+"""A complete block-based hybrid video codec, built from scratch.
+
+This package implements the encoder template the paper describes in
+Section 2.1: frames are decomposed into macroblocks; for each block the
+encoder searches temporally neighboring frames for similar blocks (motion
+estimation), stores a motion vector plus a residual, transforms the residual
+with a DCT, quantizes it (the only lossy step), and losslessly compresses
+everything with entropy coding (CAVLC- or CABAC-class).  A deblocking filter
+removes blocking artifacts, and a rate controller chooses quantizers to hit
+either a constant quality (CRF) or a target bitrate (ABR, one- or two-pass).
+
+The encoder's *effort level* -- motion search range and method, sub-pixel
+refinement, RD-optimized quantization, transform size, entropy coder -- is
+captured by :class:`~repro.codec.presets.EncoderConfig`, with named presets
+mirroring the x264 ladder.
+"""
+
+from repro.codec.decoder import Decoder, decode
+from repro.codec.encoder import EncodeResult, Encoder, encode
+from repro.codec.presets import PRESETS, EncoderConfig, preset
+from repro.codec.ratecontrol import RateControl, RateControlMode
+
+__all__ = [
+    "Decoder",
+    "EncodeResult",
+    "Encoder",
+    "EncoderConfig",
+    "PRESETS",
+    "RateControl",
+    "RateControlMode",
+    "decode",
+    "encode",
+    "preset",
+]

@@ -1,0 +1,123 @@
+"""Bitstream container: the stream header shared by encoder and decoder.
+
+Only parameters the decoder needs to reconstruct pixels travel in the
+stream (geometry, timing, transform size, entropy coder, loop-filter and
+quantization flags).  Pure encoder-side search settings do not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.codec.entropy_coding.bitio import BitReader, BitWriter
+from repro.codec.entropy_coding.expgolomb import read_se, write_se
+
+__all__ = ["StreamHeader", "MAGIC", "write_header", "read_header"]
+
+MAGIC = 0x52505631  # "RPV1"
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class StreamHeader:
+    """Decoder-facing stream parameters.
+
+    ``width``/``height`` are the *display* dimensions; the coded dimensions
+    are these rounded up to a whole number of macroblocks, and the decoder
+    crops after reconstruction.
+    """
+
+    width: int
+    height: int
+    fps_num: int
+    fps_den: int
+    n_frames: int
+    transform_size: int
+    entropy_coder: str
+    deblock: bool
+    flat_quant: bool
+    chroma_qp_offset: int
+    chroma_subpel: bool = False
+    references: int = 1
+
+    @property
+    def fps(self) -> float:
+        return self.fps_num / self.fps_den
+
+    def __post_init__(self) -> None:
+        if not (0 < self.width < 1 << 16 and 0 < self.height < 1 << 16):
+            raise ValueError(f"bad dimensions {self.width}x{self.height}")
+        if self.width % 2 or self.height % 2:
+            raise ValueError(f"dimensions must be even: {self.width}x{self.height}")
+        if self.fps_num <= 0 or self.fps_den <= 0:
+            raise ValueError(f"bad fps {self.fps_num}/{self.fps_den}")
+        if not 0 < self.n_frames < 1 << 16:
+            raise ValueError(f"bad frame count {self.n_frames}")
+        if self.transform_size not in (8, 16):
+            raise ValueError(f"bad transform size {self.transform_size}")
+        if self.entropy_coder not in ("cavlc", "cabac"):
+            raise ValueError(f"bad entropy coder {self.entropy_coder!r}")
+        if self.references not in (1, 2):
+            raise ValueError(f"bad reference count {self.references}")
+
+
+def fps_fraction(fps: float) -> Fraction:
+    """Represent an fps value as an exact small fraction (NTSC-aware)."""
+    frac = Fraction(fps).limit_denominator(1001)
+    if frac <= 0:
+        raise ValueError(f"fps must be positive, got {fps}")
+    return frac
+
+
+def write_header(writer: BitWriter, header: StreamHeader) -> None:
+    """Serialize the stream header."""
+    writer.write(MAGIC, 32)
+    writer.write(_VERSION, 8)
+    writer.write(header.width, 16)
+    writer.write(header.height, 16)
+    writer.write(header.fps_num, 16)
+    writer.write(header.fps_den, 16)
+    writer.write(header.n_frames, 16)
+    writer.write(1 if header.transform_size == 16 else 0, 1)
+    writer.write(1 if header.entropy_coder == "cabac" else 0, 1)
+    writer.write(1 if header.deblock else 0, 1)
+    writer.write(1 if header.flat_quant else 0, 1)
+    writer.write(1 if header.chroma_subpel else 0, 1)
+    writer.write(1 if header.references == 2 else 0, 1)
+    write_se(writer, header.chroma_qp_offset)
+
+
+def read_header(reader: BitReader) -> StreamHeader:
+    """Parse the stream header; raises ``ValueError`` on foreign data."""
+    if reader.read(32) != MAGIC:
+        raise ValueError("not a repro codec bitstream (bad magic)")
+    version = reader.read(8)
+    if version != _VERSION:
+        raise ValueError(f"unsupported bitstream version {version}")
+    width = reader.read(16)
+    height = reader.read(16)
+    fps_num = reader.read(16)
+    fps_den = reader.read(16)
+    n_frames = reader.read(16)
+    transform_size = 16 if reader.read(1) else 8
+    entropy_coder = "cabac" if reader.read(1) else "cavlc"
+    deblock = bool(reader.read(1))
+    flat_quant = bool(reader.read(1))
+    chroma_subpel = bool(reader.read(1))
+    references = 2 if reader.read(1) else 1
+    chroma_qp_offset = read_se(reader)
+    return StreamHeader(
+        width=width,
+        height=height,
+        fps_num=fps_num,
+        fps_den=fps_den,
+        n_frames=n_frames,
+        transform_size=transform_size,
+        entropy_coder=entropy_coder,
+        deblock=deblock,
+        flat_quant=flat_quant,
+        chroma_subpel=chroma_subpel,
+        references=references,
+        chroma_qp_offset=chroma_qp_offset,
+    )

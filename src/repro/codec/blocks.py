@@ -1,0 +1,85 @@
+"""Block decomposition helpers: plane <-> block-array reshaping.
+
+Encoders process pictures as grids of square blocks.  These helpers convert
+between a 2-D plane and a flat ``(n_blocks, size, size)`` array in raster
+order, without copying more than necessary.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["block_grid", "to_blocks", "from_blocks", "split_blocks", "merge_blocks"]
+
+
+def block_grid(height: int, width: int, size: int) -> Tuple[int, int]:
+    """Number of (rows, cols) of ``size``-sized blocks covering the plane.
+
+    The plane must already be padded to a multiple of ``size``.
+    """
+    if size <= 0:
+        raise ValueError(f"block size must be positive, got {size}")
+    if height % size or width % size:
+        raise ValueError(
+            f"plane {width}x{height} is not a multiple of block size {size}"
+        )
+    return height // size, width // size
+
+
+def to_blocks(plane: np.ndarray, size: int) -> np.ndarray:
+    """Reshape a ``(H, W)`` plane into ``(n_blocks, size, size)`` raster order."""
+    height, width = plane.shape
+    rows, cols = block_grid(height, width, size)
+    blocks = plane.reshape(rows, size, cols, size).swapaxes(1, 2)
+    return blocks.reshape(rows * cols, size, size)
+
+
+def from_blocks(blocks: np.ndarray, height: int, width: int) -> np.ndarray:
+    """Inverse of :func:`to_blocks`: reassemble blocks into a plane."""
+    n, size, size2 = blocks.shape
+    if size != size2:
+        raise ValueError(f"blocks must be square, got {size}x{size2}")
+    rows, cols = block_grid(height, width, size)
+    if n != rows * cols:
+        raise ValueError(
+            f"expected {rows * cols} blocks for a {width}x{height} plane, got {n}"
+        )
+    return (
+        blocks.reshape(rows, cols, size, size)
+        .swapaxes(1, 2)
+        .reshape(height, width)
+    )
+
+
+def split_blocks(blocks: np.ndarray, sub: int) -> np.ndarray:
+    """Split ``(n, S, S)`` blocks into ``(n * (S//sub)**2, sub, sub)`` sub-blocks.
+
+    Sub-blocks are ordered block-major, then raster within each block, so
+    :func:`merge_blocks` can reverse the operation.
+    """
+    n, size, _ = blocks.shape
+    if size % sub:
+        raise ValueError(f"cannot split {size}x{size} blocks into {sub}x{sub}")
+    k = size // sub
+    out = blocks.reshape(n, k, sub, k, sub).swapaxes(2, 3)
+    return out.reshape(n * k * k, sub, sub)
+
+
+def merge_blocks(subblocks: np.ndarray, size: int) -> np.ndarray:
+    """Inverse of :func:`split_blocks`."""
+    m, sub, sub2 = subblocks.shape
+    if sub != sub2:
+        raise ValueError(f"sub-blocks must be square, got {sub}x{sub2}")
+    if size % sub:
+        raise ValueError(f"cannot merge {sub}x{sub} sub-blocks into {size}x{size}")
+    k = size // sub
+    per_block = k * k
+    if m % per_block:
+        raise ValueError(
+            f"{m} sub-blocks is not a whole number of {size}x{size} blocks"
+        )
+    n = m // per_block
+    out = subblocks.reshape(n, k, k, sub, sub).swapaxes(2, 3)
+    return out.reshape(n, size, size)

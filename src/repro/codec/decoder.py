@@ -1,0 +1,348 @@
+"""The video decoder: bit-exact inverse of the encoder's reconstruction.
+
+Decoding simply follows the interpretation rules of the bitstream
+(Section 2 of the paper: "the decoding step ... is deterministic and
+relatively fast").  Every arithmetic operation here mirrors the encoder's
+reconstruction path exactly -- the round-trip test asserts the decoded
+pixels equal :attr:`EncodeResult.recon` bit for bit, which is the central
+codec invariant.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.codec.bitstream import StreamHeader, read_header
+from repro.codec.blocks import from_blocks, merge_blocks
+from repro.codec.encoder import reconstruct_luma_residual
+from repro.codec.deblock import deblock_plane
+from repro.codec.entropy_coding.bitio import BitReader
+from repro.codec.entropy_coding.cabac import CabacDecoder
+from repro.codec.entropy_coding.cavlc import decode_levels_cavlc
+from repro.codec.entropy_coding.expgolomb import read_se, read_ue
+from repro.codec.instrumentation import Counters
+from repro.codec.motion import (
+    block_positions,
+    motion_compensate,
+    motion_compensate_chroma,
+    pad_reference,
+)
+from repro.codec.predict import FLAT_PREDICTOR, dc_predict
+from repro.codec.quant import QP_MAX, QP_MIN, dequantize
+from repro.codec.transform import inverse_dct
+from repro.codec.types import MB_SIZE, BlockMode, FrameType
+from repro.video.frame import Frame
+from repro.video.video import Video
+
+__all__ = ["Decoder", "DecodeResult", "decode"]
+
+
+@dataclass
+class DecodeResult:
+    """A decoded video plus decoding-side work counters."""
+
+    video: Video
+    header: StreamHeader
+    counters: Counters
+    wall_seconds: float
+
+
+def _clamp_qp(qp: int) -> int:
+    return int(max(QP_MIN, min(QP_MAX, qp)))
+
+
+class Decoder:
+    """Stateless decoder object (state lives per-call)."""
+
+    def decode(self, bitstream: bytes, name: str = "") -> DecodeResult:
+        """Decode a bitstream produced by :class:`repro.codec.Encoder`."""
+        start = time.perf_counter()
+        counters = Counters()
+        reader = BitReader(bitstream)
+        header = read_header(reader)
+
+        coded_w = -(-header.width // MB_SIZE) * MB_SIZE
+        coded_h = -(-header.height // MB_SIZE) * MB_SIZE
+        n_mb = (coded_w // MB_SIZE) * (coded_h // MB_SIZE)
+        ys, xs = block_positions(coded_h, coded_w, MB_SIZE)
+        cys, cxs = ys // 2, xs // 2
+        tsize = header.transform_size
+
+        refs: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        frames: List[Frame] = []
+
+        for _ in range(header.n_frames):
+            counters.add("frame_setup", 1)
+            frame_type = FrameType(reader.read(1))
+            qp = reader.read(6)
+            qp_c = _clamp_qp(qp + header.chroma_qp_offset)
+
+            if frame_type is FrameType.I:
+                planes = self._decode_i_frame(
+                    reader, header, coded_h, coded_w, n_mb, ys, xs, cys, cxs,
+                    qp, qp_c, counters,
+                )
+                modes = None
+            else:
+                if not refs:
+                    raise ValueError("corrupt stream: P frame before any I frame")
+                planes, modes = self._decode_p_frame(
+                    reader, header, coded_h, coded_w, n_mb, ys, xs, cys, cxs,
+                    qp, qp_c, refs, counters,
+                )
+
+            recon_y, recon_u, recon_v = planes
+            if header.deblock:
+                if modes is not None:
+                    mb_active = (modes != int(BlockMode.SKIP)).reshape(
+                        coded_h // MB_SIZE, coded_w // MB_SIZE
+                    )
+                    k = MB_SIZE // tsize
+                    luma_active = np.repeat(
+                        np.repeat(mb_active, k, axis=0), k, axis=1
+                    )
+                    chroma_active = mb_active
+                else:
+                    luma_active = None
+                    chroma_active = None
+                recon_y = deblock_plane(recon_y, tsize, qp, luma_active, counters)
+                recon_u = deblock_plane(recon_u, 8, qp_c, chroma_active, counters)
+                recon_v = deblock_plane(recon_v, 8, qp_c, chroma_active, counters)
+            recon_y = np.clip(np.rint(recon_y), 0, 255)
+            recon_u = np.clip(np.rint(recon_u), 0, 255)
+            recon_v = np.clip(np.rint(recon_v), 0, 255)
+            refs.insert(0, (recon_y, recon_u, recon_v))
+            del refs[2:]
+            counters.add("recon", n_mb)
+            frames.append(
+                Frame.from_planes(
+                    recon_y[: header.height, : header.width],
+                    recon_u[: header.height // 2, : header.width // 2],
+                    recon_v[: header.height // 2, : header.width // 2],
+                )
+            )
+
+        video = Video(frames, fps=header.fps, name=name)
+        return DecodeResult(
+            video=video,
+            header=header,
+            counters=counters,
+            wall_seconds=time.perf_counter() - start,
+        )
+
+    # -- residual payloads -----------------------------------------------------
+
+    def _read_residuals(
+        self,
+        reader: BitReader,
+        header: StreamHeader,
+        n_luma: int,
+        n_chroma: int,
+        tsize: int,
+        counters: Counters,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        if header.entropy_coder == "cavlc":
+            luma = decode_levels_cavlc(reader, n_luma, tsize)
+            chroma = decode_levels_cavlc(reader, n_chroma, 8)
+            counters.add(
+                "entropy_sym",
+                n_luma + n_chroma
+                + int(np.count_nonzero(luma)) + int(np.count_nonzero(chroma)),
+            )
+            return luma, chroma
+        reader.align()
+        length = reader.read(32)
+        chunk = reader.read_bytes(length)
+        cabac = CabacDecoder(chunk)
+        luma = cabac.decode_blocks(n_luma, tsize, chroma=False)
+        chroma = cabac.decode_blocks(n_chroma, 8, chroma=True)
+        counters.add("entropy_bin", 8 * length)
+        return luma, chroma
+
+    def _read_p_residuals(
+        self,
+        reader: BitReader,
+        header: StreamHeader,
+        n_luma8: int,
+        n_luma16: int,
+        n_chroma: int,
+        counters: Counters,
+    ):
+        """P-frame residual payload: 8x8 luma, 16x16 luma, then chroma."""
+        if header.entropy_coder == "cavlc":
+            levels8 = decode_levels_cavlc(reader, n_luma8, 8)
+            levels16 = decode_levels_cavlc(reader, n_luma16, 16)
+            chroma = decode_levels_cavlc(reader, n_chroma, 8)
+            counters.add(
+                "entropy_sym",
+                n_luma8 + n_luma16 + n_chroma
+                + int(np.count_nonzero(levels8))
+                + int(np.count_nonzero(levels16))
+                + int(np.count_nonzero(chroma)),
+            )
+            return levels8, levels16, chroma
+        reader.align()
+        length = reader.read(32)
+        chunk = reader.read_bytes(length)
+        cabac = CabacDecoder(chunk)
+        levels8 = cabac.decode_blocks(n_luma8, 8, chroma=False)
+        levels16 = cabac.decode_blocks(n_luma16, 16, chroma=False)
+        chroma = cabac.decode_blocks(n_chroma, 8, chroma=True)
+        counters.add("entropy_bin", 8 * length)
+        return levels8, levels16, chroma
+
+    # -- I frames ---------------------------------------------------------------
+
+    def _decode_i_frame(
+        self, reader, header, coded_h, coded_w, n_mb, ys, xs, cys, cxs,
+        qp, qp_c, counters,
+    ):
+        # Intra pictures always use the 8x8 transform (see the encoder).
+        k2 = 4
+        luma_levels, chroma_levels = self._read_residuals(
+            reader, header, n_mb * k2, 2 * n_mb, 8, counters
+        )
+        recon_y = np.empty((coded_h, coded_w))
+        recon_u = np.empty((coded_h // 2, coded_w // 2))
+        recon_v = np.empty_like(recon_u)
+        flat = header.flat_quant
+        for i in range(n_mb):
+            y0, x0 = int(ys[i]), int(xs[i])
+            cy0, cx0 = y0 // 2, x0 // 2
+            dc = dc_predict(recon_y, y0, x0, MB_SIZE, counters)
+            levels = luma_levels[i * k2 : (i + 1) * k2]
+            rec = merge_blocks(
+                inverse_dct(dequantize(levels, qp, flat=flat)), MB_SIZE
+            )[0]
+            counters.add("idct", k2)
+            counters.add("dequant", k2)
+            recon_y[y0 : y0 + MB_SIZE, x0 : x0 + MB_SIZE] = np.clip(rec + dc, 0, 255)
+            for plane, levels_c in (
+                (recon_u, chroma_levels[i]),
+                (recon_v, chroma_levels[n_mb + i]),
+            ):
+                dcc = dc_predict(plane, cy0, cx0, MB_SIZE // 2, counters)
+                crec = inverse_dct(dequantize(levels_c[None], qp_c, flat=flat))[0]
+                counters.add("idct", 1)
+                counters.add("dequant", 1)
+                plane[cy0 : cy0 + 8, cx0 : cx0 + 8] = np.clip(crec + dcc, 0, 255)
+        return recon_y, recon_u, recon_v
+
+    # -- P frames -----------------------------------------------------------------
+
+    def _decode_p_frame(
+        self, reader, header, coded_h, coded_w, n_mb, ys, xs, cys, cxs,
+        qp, qp_c, refs, counters,
+    ):
+        modes = np.array([read_ue(reader) for _ in range(n_mb)], dtype=np.int64)
+        if np.any(modes > int(BlockMode.INTRA)):
+            raise ValueError("corrupt stream: invalid block mode")
+        inter_idx = np.nonzero(modes == int(BlockMode.INTER))[0]
+        mvs = np.zeros((n_mb, 2), dtype=np.int64)
+        if inter_idx.size:
+            mvds = np.array(
+                [[read_se(reader), read_se(reader)] for _ in range(inter_idx.size)],
+                dtype=np.int64,
+            )
+            mvs[inter_idx] = np.cumsum(mvds, axis=0)
+            # Sanity bound: no conforming encoder emits vectors beyond a
+            # frame diagonal; a corrupt stream must not trigger a giant
+            # reference-padding allocation below.
+            limit = 4 * (coded_w + coded_h)
+            if int(np.max(np.abs(mvs))) > limit:
+                raise ValueError("corrupt stream: motion vector out of range")
+        ref_idx = np.zeros(n_mb, dtype=np.int64)
+        if header.references == 2 and inter_idx.size:
+            ref_idx[inter_idx] = [reader.read_bit() for _ in range(inter_idx.size)]
+
+        nonskip_idx = np.nonzero(modes != int(BlockMode.SKIP))[0]
+        n_ns = nonskip_idx.size
+        # Adaptive-transform flags: one bit per non-skip macroblock.
+        if header.transform_size == 16 and n_ns:
+            use16 = np.array(
+                [reader.read_bit() for _ in range(n_ns)], dtype=bool
+            )
+        else:
+            use16 = np.zeros(n_ns, dtype=bool)
+        n16 = int(use16.sum())
+        levels8, levels16, chroma_levels = self._read_p_residuals(
+            reader, header, 4 * (n_ns - n16), n16, 2 * n_ns, counters
+        )
+
+        max_mv = int(np.max(np.abs(mvs))) // 4 if n_mb else 0
+        pad = max_mv + 2
+        cpad = max(max_mv // 2 + 2, 4)
+        padded_refs = [
+            (
+                pad_reference(r[0], pad),
+                pad_reference(r[1], cpad),
+                pad_reference(r[2], cpad),
+            )
+            for r in refs
+        ]
+        ref_y, ref_u, ref_v = padded_refs[0]
+
+        recon_blocks = np.empty((n_mb, MB_SIZE, MB_SIZE))
+        recon_u_blocks = np.empty((n_mb, MB_SIZE // 2, MB_SIZE // 2))
+        recon_v_blocks = np.empty_like(recon_u_blocks)
+
+        skip_idx = np.nonzero(modes == int(BlockMode.SKIP))[0]
+        if skip_idx.size:
+            zeros = np.zeros((skip_idx.size, 2), dtype=np.int64)
+            recon_blocks[skip_idx] = motion_compensate(
+                ref_y, pad, zeros, ys[skip_idx], xs[skip_idx], MB_SIZE, counters
+            )
+            recon_u_blocks[skip_idx] = motion_compensate_chroma(
+                ref_u, cpad, zeros, cys[skip_idx], cxs[skip_idx], MB_SIZE // 2, counters
+            )
+            recon_v_blocks[skip_idx] = motion_compensate_chroma(
+                ref_v, cpad, zeros, cys[skip_idx], cxs[skip_idx], MB_SIZE // 2, counters
+            )
+
+        if n_ns:
+            flat = header.flat_quant
+            luma_pred = np.full((n_ns, MB_SIZE, MB_SIZE), FLAT_PREDICTOR)
+            chroma_pred = np.full(
+                (2, n_ns, MB_SIZE // 2, MB_SIZE // 2), FLAT_PREDICTOR
+            )
+            inter_sel = modes[nonskip_idx] == int(BlockMode.INTER)
+            for ref in range(len(padded_refs)):
+                pick = inter_sel & (ref_idx[nonskip_idx] == ref)
+                if not pick.any():
+                    continue
+                sel = nonskip_idx[pick]
+                r_y, r_u, r_v = padded_refs[ref]
+                luma_pred[pick] = motion_compensate(
+                    r_y, pad, mvs[sel], ys[sel], xs[sel], MB_SIZE, counters
+                )
+                chroma_pred[0, pick] = motion_compensate_chroma(
+                    r_u, cpad, mvs[sel], cys[sel], cxs[sel], MB_SIZE // 2,
+                    header.chroma_subpel, counters,
+                )
+                chroma_pred[1, pick] = motion_compensate_chroma(
+                    r_v, cpad, mvs[sel], cys[sel], cxs[sel], MB_SIZE // 2,
+                    header.chroma_subpel, counters,
+                )
+            rec_res = reconstruct_luma_residual(
+                levels8, levels16, use16, qp, flat, counters
+            )
+            recon_blocks[nonskip_idx] = np.clip(luma_pred + rec_res, 0, 255)
+            crec = inverse_dct(dequantize(chroma_levels, qp_c, flat=flat))
+            counters.add("idct", chroma_levels.shape[0])
+            counters.add("dequant", chroma_levels.shape[0])
+            recon_u_blocks[nonskip_idx] = np.clip(chroma_pred[0] + crec[:n_ns], 0, 255)
+            recon_v_blocks[nonskip_idx] = np.clip(chroma_pred[1] + crec[n_ns:], 0, 255)
+
+        recon_y = from_blocks(recon_blocks, coded_h, coded_w)
+        recon_u = from_blocks(recon_u_blocks, coded_h // 2, coded_w // 2)
+        recon_v = from_blocks(recon_v_blocks, coded_h // 2, coded_w // 2)
+        return (recon_y, recon_u, recon_v), modes
+
+
+def decode(bitstream: bytes, name: str = "") -> Video:
+    """Decode a bitstream to a :class:`Video` (convenience wrapper)."""
+    return Decoder().decode(bitstream, name=name).video

@@ -1,0 +1,38 @@
+"""Lossless entropy coding: the final stage of the encoder.
+
+Two coder families, mirroring H.264's CAVLC/CABAC split (Section 2.1):
+
+* :mod:`~repro.codec.entropy_coding.cavlc` -- context-free variable-length
+  coding built on Exp-Golomb codes.  Fully vectorized, used by the fast
+  presets and the hardware encoder models.
+* :mod:`~repro.codec.entropy_coding.cabac` -- context-adaptive binary
+  arithmetic coding.  Sequential by nature, genuinely compresses 8-15%
+  better, used by the slow presets and the newer-codec encoder models.
+"""
+
+from repro.codec.entropy_coding.bitio import BitReader, BitWriter
+from repro.codec.entropy_coding.cabac import CabacDecoder, CabacEncoder
+from repro.codec.entropy_coding.cavlc import decode_levels_cavlc, encode_levels_cavlc
+from repro.codec.entropy_coding.expgolomb import (
+    read_se,
+    read_ue,
+    se_code,
+    ue_code,
+    write_se,
+    write_ue,
+)
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "CabacDecoder",
+    "CabacEncoder",
+    "decode_levels_cavlc",
+    "encode_levels_cavlc",
+    "read_se",
+    "read_ue",
+    "se_code",
+    "ue_code",
+    "write_se",
+    "write_ue",
+]

@@ -1,0 +1,248 @@
+"""Context-adaptive binary arithmetic coding (CABAC-class).
+
+A binary range coder (the carry-counting LZMA construction, equivalent in
+spirit to H.264's arithmetic coding engine) plus adaptive probability
+contexts.  Every syntax element is binarized into a sequence of binary
+decisions ("bins"); each bin is coded against a context whose probability
+estimate adapts as the frame is coded.  Adaptation is what buys CABAC its
+bitrate advantage over static VLC tables -- and its strictly sequential
+data dependence is why hardware encoders and fast software presets avoid it
+(Sections 2.1 and 5.3 of the paper).
+
+Coefficient binarization follows the H.264 pattern: a coded-block flag,
+then interleaved significance/last flags over the zig-zag scan, then for
+each significant coefficient a greater-than-one flag, an Exp-Golomb-coded
+remainder in bypass mode, and a bypass sign bit.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.codec.transform import zigzag_order
+
+__all__ = ["CabacEncoder", "CabacDecoder", "ContextSet"]
+
+_PROB_BITS = 11
+_PROB_ONE = 1 << _PROB_BITS  # probabilities are P(bit == 0) in [1, 2047]
+_PROB_INIT = _PROB_ONE // 2
+_ADAPT_SHIFT = 5
+_TOP = 1 << 24
+_SIG_CTXS = 16  # significance contexts, bucketed by scan position
+
+
+class ContextSet:
+    """Adaptive probability contexts for one frame's residual data."""
+
+    def __init__(self) -> None:
+        self.coded_flag = [_PROB_INIT, _PROB_INIT]  # [luma, chroma]
+        self.sig = [_PROB_INIT] * _SIG_CTXS
+        self.last = [_PROB_INIT] * _SIG_CTXS
+        self.gt1 = [_PROB_INIT, _PROB_INIT]
+
+
+class CabacEncoder:
+    """Binary range encoder with adaptive contexts.
+
+    Usage: construct, call :meth:`encode_blocks` (or the bin-level methods),
+    then :meth:`flush` to obtain the coded bytes.  ``bins`` counts every
+    coded bin -- the unit of entropy-coding work in the cycle model.
+    """
+
+    def __init__(self) -> None:
+        self._low = 0
+        self._range = 0xFFFFFFFF
+        self._cache = 0
+        self._cache_size = 1
+        self._out = bytearray()
+        self.contexts = ContextSet()
+        self.bins = 0
+
+    # -- engine -----------------------------------------------------------
+
+    def _shift_low(self) -> None:
+        if self._low < 0xFF000000 or self._low > 0xFFFFFFFF:
+            carry = self._low >> 32
+            self._out.append((self._cache + carry) & 0xFF)
+            self._out.extend(
+                ((0xFF + carry) & 0xFF for _ in range(self._cache_size - 1))
+            )
+            self._cache = (self._low >> 24) & 0xFF
+            self._cache_size = 0
+        self._cache_size += 1
+        self._low = (self._low << 8) & 0xFFFFFFFF
+
+    def encode_bit(self, contexts: List[int], index: int, bit: int) -> None:
+        """Code one bin against an adaptive context."""
+        prob = contexts[index]
+        bound = (self._range >> _PROB_BITS) * prob
+        if bit == 0:
+            self._range = bound
+            contexts[index] = prob + ((_PROB_ONE - prob) >> _ADAPT_SHIFT)
+        else:
+            self._low += bound
+            self._range -= bound
+            contexts[index] = prob - (prob >> _ADAPT_SHIFT)
+        if self._range < _TOP:
+            self._range <<= 8
+            self._shift_low()
+        self.bins += 1
+
+    def encode_bypass(self, bit: int) -> None:
+        """Code one equiprobable bin (sign bits, suffix bits)."""
+        self._range >>= 1
+        if bit:
+            self._low += self._range
+        if self._range < _TOP:
+            self._range <<= 8
+            self._shift_low()
+        self.bins += 1
+
+    def encode_bypass_eg0(self, value: int) -> None:
+        """Code an unsigned value as order-0 Exp-Golomb in bypass mode."""
+        if value < 0:
+            raise ValueError(f"bypass EG codes unsigned values, got {value}")
+        shifted = value + 1
+        nbits = shifted.bit_length()
+        for _ in range(nbits - 1):
+            self.encode_bypass(0)
+        for shift in range(nbits - 1, -1, -1):
+            self.encode_bypass((shifted >> shift) & 1)
+
+    def flush(self) -> bytes:
+        """Terminate the stream and return the coded bytes."""
+        for _ in range(5):
+            self._shift_low()
+        return bytes(self._out)
+
+    # -- residual coding -----------------------------------------------------
+
+    def encode_blocks(self, levels: np.ndarray, chroma: bool = False) -> None:
+        """Encode ``(n, S, S)`` quantized blocks of one plane class."""
+        levels = np.asarray(levels)
+        if levels.ndim != 3 or levels.shape[1] != levels.shape[2]:
+            raise ValueError(f"expected (n, S, S) levels, got {levels.shape}")
+        n, size, _ = levels.shape
+        scan = zigzag_order(size)
+        flat = levels.reshape(n, size * size)[:, scan]
+        ctx = self.contexts
+        plane = 1 if chroma else 0
+        max_pos = size * size
+        nonzero_rows = np.nonzero(np.any(flat, axis=1))[0]
+        nonzero_set = set(nonzero_rows.tolist())
+        for b in range(n):
+            if b not in nonzero_set:
+                self.encode_bit(ctx.coded_flag, plane, 0)
+                continue
+            self.encode_bit(ctx.coded_flag, plane, 1)
+            row = flat[b]
+            sig_positions = np.nonzero(row)[0]
+            last = int(sig_positions[-1])
+            for pos in range(last + 1):
+                value = int(row[pos])
+                bucket = min(pos, _SIG_CTXS - 1)
+                if pos < max_pos - 1:
+                    self.encode_bit(ctx.sig, bucket, 1 if value else 0)
+                    if value:
+                        self.encode_bit(ctx.last, bucket, 1 if pos == last else 0)
+                # The final scan position's significance is implied by
+                # arriving there without having closed the block.
+            for pos in sig_positions.tolist():
+                value = int(row[pos])
+                mag = abs(value)
+                self.encode_bit(ctx.gt1, plane, 1 if mag > 1 else 0)
+                if mag > 1:
+                    self.encode_bypass_eg0(mag - 2)
+                self.encode_bypass(1 if value < 0 else 0)
+
+
+class CabacDecoder:
+    """Mirror of :class:`CabacEncoder`."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 1  # first byte emitted by the encoder is always 0
+        self._code = 0
+        for _ in range(4):
+            self._code = (self._code << 8) | self._next_byte()
+        self._range = 0xFFFFFFFF
+        self.contexts = ContextSet()
+
+    def _next_byte(self) -> int:
+        byte = self._data[self._pos] if self._pos < len(self._data) else 0
+        self._pos += 1
+        return byte
+
+    def decode_bit(self, contexts: List[int], index: int) -> int:
+        prob = contexts[index]
+        bound = (self._range >> _PROB_BITS) * prob
+        if self._code < bound:
+            bit = 0
+            self._range = bound
+            contexts[index] = prob + ((_PROB_ONE - prob) >> _ADAPT_SHIFT)
+        else:
+            bit = 1
+            self._code -= bound
+            self._range -= bound
+            contexts[index] = prob - (prob >> _ADAPT_SHIFT)
+        if self._range < _TOP:
+            self._range <<= 8
+            self._code = ((self._code << 8) | self._next_byte()) & 0xFFFFFFFF
+        return bit
+
+    def decode_bypass(self) -> int:
+        self._range >>= 1
+        if self._code >= self._range:
+            self._code -= self._range
+            bit = 1
+        else:
+            bit = 0
+        if self._range < _TOP:
+            self._range <<= 8
+            self._code = ((self._code << 8) | self._next_byte()) & 0xFFFFFFFF
+        return bit
+
+    def decode_bypass_eg0(self) -> int:
+        zeros = 0
+        while self.decode_bypass() == 0:
+            zeros += 1
+            if zeros > 62:
+                raise ValueError("corrupt CABAC stream: runaway EG prefix")
+        value = 1
+        for _ in range(zeros):
+            value = (value << 1) | self.decode_bypass()
+        return value - 1
+
+    def decode_blocks(
+        self, n_blocks: int, size: int, chroma: bool = False
+    ) -> np.ndarray:
+        """Decode ``n_blocks`` blocks of ``size x size`` levels."""
+        scan = zigzag_order(size)
+        ctx = self.contexts
+        plane = 1 if chroma else 0
+        max_pos = size * size
+        out = np.zeros((n_blocks, max_pos), dtype=np.int32)
+        for b in range(n_blocks):
+            if not self.decode_bit(ctx.coded_flag, plane):
+                continue
+            significant = []
+            pos = 0
+            while pos < max_pos:
+                bucket = min(pos, _SIG_CTXS - 1)
+                if pos == max_pos - 1:
+                    significant.append(pos)
+                    break
+                if self.decode_bit(ctx.sig, bucket):
+                    significant.append(pos)
+                    if self.decode_bit(ctx.last, bucket):
+                        break
+                pos += 1
+            for pos in significant:
+                mag = 1
+                if self.decode_bit(ctx.gt1, plane):
+                    mag = 2 + self.decode_bypass_eg0()
+                sign = self.decode_bypass()
+                out[b, scan[pos]] = -mag if sign else mag
+        return out.reshape(n_blocks, size, size)

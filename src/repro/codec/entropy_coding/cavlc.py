@@ -1,0 +1,112 @@
+"""CAVLC-class coefficient coding: zig-zag scan plus run/level Exp-Golomb.
+
+Each quantized block is scanned in zig-zag order; the coder emits the number
+of non-zero levels, then for each non-zero level the run of zeros preceding
+it (unsigned code) and the level itself (signed code).  The whole encode
+side is vectorized across every block of a frame at once -- symbol values
+and bit lengths are computed as arrays and handed to the bit packer in one
+call -- which is what makes the fast presets fast.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.codec.entropy_coding.bitio import BitReader, BitWriter
+from repro.codec.entropy_coding.expgolomb import (
+    read_se,
+    read_ue,
+    se_codes,
+    ue_codes,
+)
+from repro.codec.transform import zigzag_order
+
+__all__ = ["encode_levels_cavlc", "decode_levels_cavlc"]
+
+
+def encode_levels_cavlc(writer: BitWriter, levels: np.ndarray) -> int:
+    """Encode ``(n, S, S)`` quantized blocks; returns the symbol count.
+
+    The symbol count (one per coded value) feeds the entropy-work counter
+    used by the cycle-cost model.
+    """
+    levels = np.asarray(levels)
+    if levels.ndim != 3 or levels.shape[1] != levels.shape[2]:
+        raise ValueError(f"expected (n, S, S) levels, got shape {levels.shape}")
+    n, size, _ = levels.shape
+    if n == 0:
+        return 0
+    scan = zigzag_order(size)
+    flat = levels.reshape(n, size * size)[:, scan]
+
+    nnz = np.count_nonzero(flat, axis=1)
+    block_idx, positions = np.nonzero(flat)
+    values = flat[block_idx, positions]
+
+    # Zero-run before each non-zero coefficient, computed without a Python
+    # loop: within a block the run is the gap to the previous non-zero; the
+    # first non-zero in a block runs from position 0.
+    runs = np.empty_like(positions)
+    if positions.size:
+        runs[0] = positions[0]
+        same_block = block_idx[1:] == block_idx[:-1]
+        runs[1:] = np.where(
+            same_block, positions[1:] - positions[:-1] - 1, positions[1:]
+        )
+
+    # Interleave symbols into stream order:
+    #   [nnz_b, (run, level) * nnz_b] for each block b.
+    symbols_per_block = 1 + 2 * nnz
+    out_total = int(symbols_per_block.sum())
+    offsets = np.cumsum(symbols_per_block) - symbols_per_block
+
+    codes = np.empty(out_total, dtype=np.int64)
+    lengths = np.empty(out_total, dtype=np.int64)
+
+    nnz_codes, nnz_lengths = ue_codes(nnz)
+    codes[offsets] = nnz_codes
+    lengths[offsets] = nnz_lengths
+
+    if positions.size:
+        # Index of each coefficient within its block (0-based).
+        coeff_rank = np.arange(positions.size) - np.repeat(
+            np.cumsum(nnz) - nnz, nnz
+        )
+        base = np.repeat(offsets, nnz) + 1 + 2 * coeff_rank
+        run_codes, run_lengths = ue_codes(runs)
+        codes[base] = run_codes
+        lengths[base] = run_lengths
+        level_codes, level_lengths = se_codes(values)
+        codes[base + 1] = level_codes
+        lengths[base + 1] = level_lengths
+
+    writer.write_array(codes, lengths)
+    return out_total
+
+
+def decode_levels_cavlc(
+    reader: BitReader, n_blocks: int, size: int
+) -> np.ndarray:
+    """Decode ``n_blocks`` blocks of ``size x size`` quantized levels."""
+    if n_blocks < 0:
+        raise ValueError(f"block count must be non-negative, got {n_blocks}")
+    scan = zigzag_order(size)
+    out = np.zeros((n_blocks, size * size), dtype=np.int32)
+    max_pos = size * size
+    for b in range(n_blocks):
+        nnz = read_ue(reader)
+        if nnz > max_pos:
+            raise ValueError(f"corrupt stream: {nnz} coefficients in block {b}")
+        pos = -1
+        for _ in range(nnz):
+            run = read_ue(reader)
+            pos += run + 1
+            if pos >= max_pos:
+                raise ValueError(f"corrupt stream: run overflows block {b}")
+            level = read_se(reader)
+            if level == 0:
+                raise ValueError(f"corrupt stream: zero level in block {b}")
+            out[b, scan[pos]] = level
+    return out.reshape(n_blocks, size, size)

@@ -1,0 +1,100 @@
+"""Exponential-Golomb codes: the universal VLC of H.264-class codecs.
+
+An unsigned value ``v`` is coded as ``floor(log2(v + 1))`` zero bits, then
+the ``floor(log2(v + 1)) + 1``-bit binary representation of ``v + 1``.
+Small values get short codes, and any non-negative integer is codable, which
+is why headers, modes, motion vector differences, runs, and levels can all
+share this one code family.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.codec.entropy_coding.bitio import BitReader, BitWriter
+
+__all__ = [
+    "ue_code",
+    "se_code",
+    "ue_codes",
+    "se_codes",
+    "write_ue",
+    "write_se",
+    "read_ue",
+    "read_se",
+    "signed_to_unsigned",
+    "unsigned_to_signed",
+]
+
+
+def ue_code(value: int) -> Tuple[int, int]:
+    """Return ``(codeword, bit_length)`` for an unsigned Exp-Golomb code."""
+    if value < 0:
+        raise ValueError(f"ue codes unsigned values, got {value}")
+    shifted = value + 1
+    nbits = shifted.bit_length()
+    return shifted, 2 * nbits - 1
+
+
+def signed_to_unsigned(value: int) -> int:
+    """Map a signed value onto the unsigned code index (se -> ue mapping).
+
+    Positive v maps to 2v - 1, non-positive v maps to -2v, so values of
+    small magnitude get short codes regardless of sign.
+    """
+    return 2 * value - 1 if value > 0 else -2 * value
+
+
+def unsigned_to_signed(index: int) -> int:
+    """Inverse of :func:`signed_to_unsigned`."""
+    if index % 2:
+        return (index + 1) // 2
+    return -(index // 2)
+
+
+def se_code(value: int) -> Tuple[int, int]:
+    """Return ``(codeword, bit_length)`` for a signed Exp-Golomb code."""
+    return ue_code(signed_to_unsigned(value))
+
+
+def ue_codes(values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`ue_code` over an array of unsigned values."""
+    values = np.asarray(values, dtype=np.int64)
+    if np.any(values < 0):
+        raise ValueError("ue codes unsigned values")
+    shifted = values + 1
+    # bit_length(shifted) == floor(log2(shifted)) + 1
+    nbits = np.frexp(shifted.astype(np.float64))[1].astype(np.int64)
+    return shifted, 2 * nbits - 1
+
+
+def se_codes(values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`se_code` over an array of signed values."""
+    values = np.asarray(values, dtype=np.int64)
+    mapped = np.where(values > 0, 2 * values - 1, -2 * values)
+    return ue_codes(mapped)
+
+
+def write_ue(writer: BitWriter, value: int) -> None:
+    """Write one unsigned Exp-Golomb code."""
+    code, nbits = ue_code(value)
+    writer.write(code, nbits)
+
+
+def write_se(writer: BitWriter, value: int) -> None:
+    """Write one signed Exp-Golomb code."""
+    code, nbits = se_code(value)
+    writer.write(code, nbits)
+
+
+def read_ue(reader: BitReader) -> int:
+    """Read one unsigned Exp-Golomb code."""
+    zeros = reader.count_zeros()
+    return reader.read(zeros + 1) - 1
+
+
+def read_se(reader: BitReader) -> int:
+    """Read one signed Exp-Golomb code."""
+    return unsigned_to_signed(read_ue(reader))

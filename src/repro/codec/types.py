@@ -1,0 +1,87 @@
+"""Shared codec datatypes: frame types, block modes, per-frame encode data."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = [
+    "FrameType",
+    "BlockMode",
+    "MB_SIZE",
+    "FramePlan",
+    "FrameStats",
+]
+
+#: Macroblock size in luma pixels.  16x16, as in H.264.
+MB_SIZE = 16
+
+
+class FrameType(enum.IntEnum):
+    """Picture type: intra-coded (I) or predicted (P).
+
+    The codec is IPPP... with I frames at keyframe intervals and scene cuts.
+    (B frames are a latency/compression tool the benchmark's insights do not
+    depend on; see DESIGN.md.)
+    """
+
+    I = 0
+    P = 1
+
+
+class BlockMode(enum.IntEnum):
+    """Coding mode of one macroblock.
+
+    * ``SKIP``  -- copy the co-located block from the reference; no residual.
+    * ``INTER`` -- motion-compensated prediction plus coded residual.
+    * ``INTRA`` -- spatial prediction (DC) plus coded residual.
+    """
+
+    SKIP = 0
+    INTER = 1
+    INTRA = 2
+
+
+@dataclass
+class FramePlan:
+    """Everything the encoder decided about one frame, pre-entropy-coding.
+
+    Attributes:
+        frame_type: I or P.
+        qp: Luma quantization parameter used for the frame.
+        modes: ``(n_mb,)`` int array of :class:`BlockMode` values.
+        mvs: ``(n_mb, 2)`` int array of motion vectors in *quarter-pel* units,
+            ``(dy, dx)``; zeros for non-inter blocks.
+        luma_levels: ``(n_mb * blocks_per_mb, t, t)`` quantized transform
+            levels for the luma residual (``t`` = transform size).
+        chroma_levels: ``(n_mb * 2, 8, 8)`` quantized levels for U then V.
+    """
+
+    frame_type: FrameType
+    qp: int
+    modes: np.ndarray
+    mvs: np.ndarray
+    luma_levels: np.ndarray
+    chroma_levels: np.ndarray
+
+
+@dataclass
+class FrameStats:
+    """Per-frame encoding statistics, the raw material for rate control,
+    scoring, and the microarchitectural studies."""
+
+    frame_type: FrameType
+    qp: int
+    bits: int
+    skip_blocks: int = 0
+    inter_blocks: int = 0
+    intra_blocks: int = 0
+    nonzero_coeffs: int = 0
+    sad_evaluations: int = 0
+
+    @property
+    def total_blocks(self) -> int:
+        return self.skip_blocks + self.inter_blocks + self.intra_blocks

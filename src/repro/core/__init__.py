@@ -1,0 +1,26 @@
+"""vbench core: the paper's contribution.
+
+* :mod:`repro.core.selection` -- the algorithmic video selection pipeline
+  (weighted k-means over corpus categories, mode representative, chunking).
+* :mod:`repro.core.benchmark` -- suite construction and scenario runs.
+* :mod:`repro.core.scenarios` -- Table 1: constraints and scores.
+* :mod:`repro.core.reference` -- the reference transcode operations.
+* :mod:`repro.core.harness` -- bisection to quality targets, Figure 9 runs.
+* :mod:`repro.core.coverage` -- Figure 4's coverage comparison.
+* :mod:`repro.core.reporting` -- result tables (Section 4.3's rules).
+* :mod:`repro.core.motivation` -- Figure 1's growth series.
+"""
+
+from repro.core.benchmark import BenchmarkSuite, SuiteVideo, run_scenario, vbench_suite
+from repro.core.scenarios import Ratios, Scenario, ScenarioScore, score_scenario
+
+__all__ = [
+    "BenchmarkSuite",
+    "Ratios",
+    "Scenario",
+    "ScenarioScore",
+    "SuiteVideo",
+    "run_scenario",
+    "score_scenario",
+    "vbench_suite",
+]

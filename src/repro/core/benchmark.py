@@ -1,0 +1,216 @@
+"""Suite construction and scenario runs: the benchmark's front door.
+
+``vbench_suite()`` builds the 15-video suite from the synthetic corpus via
+the Section 4.1 selection pipeline (cached per profile/seed, because
+selection re-measures entropy with real encodes).  ``run_scenario()``
+takes any backend through a scenario across the whole suite and returns a
+:class:`ScenarioReport` with the per-video ratios and scores the paper's
+reporting rules require (Section 4.3: report per video; do not average).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.corpus.synthetic import PROFILES, RenderProfile, SyntheticCorpus
+from repro.encoders.base import Transcoder, TranscodeResult
+from repro.encoders.registry import get_transcoder
+from repro.simd.analysis import modeled_seconds
+from repro.simd.isa import IsaLevel
+from repro.video.video import Video
+
+from repro.core.harness import candidate_for_scenario
+from repro.core.reference import ReferenceStore
+from repro.core.scenarios import Scenario, ScenarioScore, score_scenario
+from repro.core.selection import SelectedVideo, select_suite_videos
+
+__all__ = [
+    "SuiteVideo",
+    "BenchmarkSuite",
+    "ScenarioReport",
+    "vbench_suite",
+    "run_scenario",
+    "run_platform",
+]
+
+
+@dataclass
+class SuiteVideo:
+    """One benchmark video: the clip plus its Table 2 row."""
+
+    name: str
+    video: Video
+    kpixels: int
+    framerate: int
+    entropy: float
+    nominal_resolution: Tuple[int, int]
+
+
+@dataclass
+class BenchmarkSuite:
+    """The selected suite plus its shared reference store."""
+
+    videos: List[SuiteVideo]
+    profile: RenderProfile
+    seed: int
+    references: ReferenceStore = field(default_factory=ReferenceStore)
+
+    def __post_init__(self) -> None:
+        if not self.videos:
+            raise ValueError("a benchmark suite needs at least one video")
+
+    def __len__(self) -> int:
+        return len(self.videos)
+
+    def __iter__(self):
+        return iter(self.videos)
+
+    def names(self) -> List[str]:
+        return [v.name for v in self.videos]
+
+    def table2(self) -> List[Tuple[str, str, int, float]]:
+        """Rows of Table 2: (resolution, name, framerate, entropy)."""
+        return [
+            (
+                f"{v.nominal_resolution[0]}x{v.nominal_resolution[1]}",
+                v.name,
+                v.framerate,
+                round(v.entropy, 1),
+            )
+            for v in self.videos
+        ]
+
+
+_SUITE_CACHE: Dict[Tuple[str, int, int], BenchmarkSuite] = {}
+
+
+def vbench_suite(
+    profile: str = "fast",
+    k: int = 15,
+    seed: int = 2017,
+    corpus: Optional[SyntheticCorpus] = None,
+) -> BenchmarkSuite:
+    """Build (or fetch the cached) vbench suite.
+
+    Args:
+        profile: Rendering profile name (``tiny``/``fast``/``bench``/
+            ``full``) -- controls stand-in clip scale, see
+            :data:`repro.corpus.synthetic.PROFILES`.
+        k: Number of videos (the paper uses 15).
+        seed: Corpus + selection seed.
+        corpus: Optionally reuse an existing corpus (skips regeneration;
+            such suites are not cached).
+    """
+    key = (profile, k, seed)
+    if corpus is None and key in _SUITE_CACHE:
+        return _SUITE_CACHE[key]
+    if profile not in PROFILES:
+        raise ValueError(
+            f"unknown profile {profile!r}; expected one of {sorted(PROFILES)}"
+        )
+    corpus_obj = corpus or SyntheticCorpus(seed=seed)
+    selected = select_suite_videos(corpus_obj, k=k, profile=profile, seed=seed)
+    suite = BenchmarkSuite(
+        videos=[_suite_video(s) for s in selected],
+        profile=PROFILES[profile],
+        seed=seed,
+    )
+    if corpus is None:
+        _SUITE_CACHE[key] = suite
+    return suite
+
+
+def _suite_video(selected: SelectedVideo) -> SuiteVideo:
+    return SuiteVideo(
+        name=selected.name,
+        video=selected.video,
+        kpixels=selected.category.kpixels,
+        framerate=selected.category.framerate,
+        entropy=selected.measured_entropy,
+        nominal_resolution=(selected.category.width, selected.category.height),
+    )
+
+
+@dataclass
+class ScenarioReport:
+    """Per-video scenario results for one backend (Section 4.3 format)."""
+
+    scenario: Scenario
+    backend: str
+    scores: List[ScenarioScore]
+    candidates: List[TranscodeResult]
+    references: List[TranscodeResult]
+
+    def to_table(self) -> str:
+        """ASCII table: one row per video, ratios and score (or '-')."""
+        lines = [
+            f"scenario={self.scenario.value} backend={self.backend}",
+            f"{'video':<14} {'S':>7} {'B':>7} {'Q':>7} {'score':>8}",
+        ]
+        for s in self.scores:
+            score = f"{s.score:8.2f}" if s.score is not None else f"{'-':>8}"
+            lines.append(
+                f"{s.video_name:<14} {s.ratios.speed:7.2f} "
+                f"{s.ratios.bitrate:7.2f} {s.ratios.quality:7.3f} {score}"
+            )
+        return "\n".join(lines)
+
+    def valid_scores(self) -> List[float]:
+        """Scores of the videos that met the constraint."""
+        return [s.score for s in self.scores if s.score is not None]
+
+
+def run_scenario(
+    suite: BenchmarkSuite,
+    scenario: Scenario,
+    backend: Union[str, Transcoder],
+    bisect_iterations: int = 7,
+) -> ScenarioReport:
+    """Score ``backend`` under ``scenario`` on every suite video."""
+    transcoder = (
+        get_transcoder(backend) if isinstance(backend, str) else backend
+    )
+    if scenario is Scenario.PLATFORM:
+        raise ValueError("use run_platform for the Platform scenario")
+    scores: List[ScenarioScore] = []
+    candidates: List[TranscodeResult] = []
+    references: List[TranscodeResult] = []
+    for entry in suite:
+        reference = suite.references.reference(entry.video, scenario)
+        candidate = candidate_for_scenario(
+            transcoder, entry.video, scenario, suite.references,
+            bisect_iterations=bisect_iterations,
+        )
+        scores.append(score_scenario(scenario, candidate, reference.result))
+        candidates.append(candidate)
+        references.append(reference.result)
+    return ScenarioReport(
+        scenario=scenario,
+        backend=transcoder.name,
+        scores=scores,
+        candidates=candidates,
+        references=references,
+    )
+
+
+def run_platform(
+    suite: BenchmarkSuite,
+    isa: IsaLevel,
+    baseline_isa: IsaLevel = IsaLevel.AVX2,
+) -> List[Tuple[str, float]]:
+    """The Platform scenario: same transcode, different machine.
+
+    Re-times the VOD reference transcodes under a different ISA level of
+    the cycle model (a stand-in for changing compiler/architecture, as
+    the paper describes) and reports ``S`` per video.  Bits and quality
+    are identical by construction, so the B = Q = 1 constraint holds.
+    """
+    results: List[Tuple[str, float]] = []
+    for entry in suite:
+        reference = suite.references.reference(entry.video, Scenario.PLATFORM)
+        counters = reference.result.counters
+        base_s = modeled_seconds(counters, isa=baseline_isa)
+        new_s = modeled_seconds(counters, isa=isa)
+        results.append((entry.name, base_s / new_s))
+    return results

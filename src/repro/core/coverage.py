@@ -1,0 +1,86 @@
+"""Coverage analysis: does a video suite span the corpus? (Figure 4)
+
+The paper evaluates suites by overlaying them on the (resolution, entropy)
+scatter of the internal coverage set.  We quantify the same comparison:
+
+* :func:`scatter_points` -- the (Kpixels, entropy) points of any category
+  list, ready to plot as Figure 4 does;
+* :func:`coverage_metrics` -- numbers behind the visual claim: entropy
+  span, resolution span, and the mean/max distance from coverage-set
+  categories to their nearest suite member in the normalized clustering
+  feature space (lower = better covered).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.corpus.category import VideoCategory, feature_matrix
+
+__all__ = ["CoverageMetrics", "scatter_points", "coverage_metrics", "compare_suites"]
+
+
+@dataclass(frozen=True)
+class CoverageMetrics:
+    """How well a suite covers a target corpus.
+
+    Attributes:
+        entropy_decades: log10 span of the suite's entropy values.
+        resolution_count: Distinct resolutions in the suite.
+        mean_gap: Mean normalized-feature distance from each target
+            category to its nearest suite category.
+        max_gap: Worst-case such distance (the biggest hole).
+    """
+
+    entropy_decades: float
+    resolution_count: int
+    mean_gap: float
+    max_gap: float
+
+
+def scatter_points(categories: Sequence[VideoCategory]) -> List[Tuple[float, float]]:
+    """Figure 4 scatter data: (resolution in Kpixels, entropy) per category."""
+    return [(float(c.kpixels), float(c.entropy)) for c in categories]
+
+
+def coverage_metrics(
+    suite: Sequence[VideoCategory],
+    target: Sequence[VideoCategory],
+) -> CoverageMetrics:
+    """Coverage of ``target`` by ``suite`` (see class docstring).
+
+    Distances are computed in the same normalized feature space the
+    selection pipeline clusters in, with the normalization fit on the
+    union so the two sets share coordinates.
+    """
+    suite = list(suite)
+    target = list(target)
+    if not suite or not target:
+        raise ValueError("need non-empty suite and target")
+    union = feature_matrix(suite + target)
+    suite_pts = union[: len(suite)]
+    target_pts = union[len(suite) :]
+    dists = np.sqrt(
+        ((target_pts[:, None, :] - suite_pts[None, :, :]) ** 2).sum(axis=2)
+    )
+    nearest = dists.min(axis=1)
+    entropies = np.array([c.entropy for c in suite])
+    return CoverageMetrics(
+        entropy_decades=float(np.log10(entropies.max() / entropies.min()))
+        if entropies.min() > 0
+        else float("inf"),
+        resolution_count=len({(c.width, c.height) for c in suite}),
+        mean_gap=float(nearest.mean()),
+        max_gap=float(nearest.max()),
+    )
+
+
+def compare_suites(
+    suites: Dict[str, Sequence[VideoCategory]],
+    target: Sequence[VideoCategory],
+) -> Dict[str, CoverageMetrics]:
+    """Coverage metrics for several suites against one target corpus."""
+    return {name: coverage_metrics(cats, target) for name, cats in suites.items()}

@@ -1,0 +1,77 @@
+"""Figure 1: upload growth versus CPU performance growth, 2006-2016.
+
+The paper's motivation chart overlays YouTube's hours-uploaded-per-minute
+against the median SPECint Rate 2006 result, both normalized to mid-2007.
+The series below are digitized from the public sources the paper cites
+(Tubular Insights for uploads; SPEC result medians per calendar year) --
+coarse by nature, but the *ratio* between the two growth curves is the
+figure's entire point: uploads grew ~2 orders of magnitude while CPU
+throughput grew ~1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "YOUTUBE_HOURS_PER_MINUTE",
+    "SPECRATE_MEDIAN",
+    "growth_since",
+    "growth_gap",
+]
+
+#: Hours of video uploaded to YouTube per minute, by year (public figures:
+#: 6 (2007), 15 (2009), 35 (2010), 48 (2011), 72 (2012), 100 (2013),
+#: 300 (2014), 400 (2015), 500 (2016)).
+YOUTUBE_HOURS_PER_MINUTE: Dict[int, float] = {
+    2006: 3.0,
+    2007: 6.0,
+    2008: 10.0,
+    2009: 15.0,
+    2010: 35.0,
+    2011: 48.0,
+    2012: 72.0,
+    2013: 100.0,
+    2014: 300.0,
+    2015: 400.0,
+    2016: 500.0,
+}
+
+#: Median SPECint Rate 2006 result per calendar year (normalized units;
+#: approximates per-socket server throughput growth).
+SPECRATE_MEDIAN: Dict[int, float] = {
+    2006: 22.0,
+    2007: 30.0,
+    2008: 45.0,
+    2009: 70.0,
+    2010: 105.0,
+    2011: 140.0,
+    2012: 185.0,
+    2013: 230.0,
+    2014: 290.0,
+    2015: 350.0,
+    2016: 420.0,
+}
+
+
+def growth_since(series: Dict[int, float], base_year: int = 2007) -> List[Tuple[int, float]]:
+    """The series normalized to its ``base_year`` value (Figure 1's y-axis)."""
+    if base_year not in series:
+        raise ValueError(f"base year {base_year} not in series")
+    base = series[base_year]
+    if base <= 0:
+        raise ValueError("base value must be positive")
+    return [(year, value / base) for year, value in sorted(series.items())]
+
+
+def growth_gap(year: int = 2016, base_year: int = 2007) -> float:
+    """How much faster uploads grew than CPUs between two years.
+
+    Values well above 1 are the paper's motivation: transcoding demand
+    outruns general-purpose compute.
+    """
+    uploads = dict(growth_since(YOUTUBE_HOURS_PER_MINUTE, base_year))
+    cpus = dict(growth_since(SPECRATE_MEDIAN, base_year))
+    if year not in uploads or year not in cpus:
+        raise ValueError(f"year {year} not covered by both series")
+    return uploads[year] / cpus[year]

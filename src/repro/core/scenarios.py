@@ -1,0 +1,149 @@
+"""The five vbench scoring scenarios (Table 1 of the paper).
+
+Each scenario reflects one stage of the sharing-service pipeline
+(Section 2.5) and eliminates one metric axis with a hard Quality-of-
+Service constraint, scoring the remaining two as a product of ratios
+against the reference transcode:
+
+======== =========================================== =========
+Scenario Constraint                                  Score
+======== =========================================== =========
+Upload   B > 0.2 (at most 5x the reference bitrate)  S x Q
+Live     S_new >= output Mpixel/s (real time)        B x Q
+VOD      Q >= 1, or new quality >= 50 dB             S x B
+Popular  B >= 1 and Q >= 1 and S >= 0.1              B x Q
+Platform B = 1 and Q = 1 (identical transcode)       S
+======== =========================================== =========
+
+Ratios above 1 mean the candidate beats the reference on that axis:
+``S = speed_new/speed_ref``, ``B = bitrate_ref/bitrate_new``,
+``Q = quality_new/quality_ref``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.encoders.base import TranscodeResult
+
+__all__ = ["Scenario", "Ratios", "ScenarioScore", "compute_ratios", "score_scenario"]
+
+#: Visually lossless threshold for the VOD alternative constraint (dB).
+VISUALLY_LOSSLESS_DB = 50.0
+#: Tolerance used for the Platform scenario's B = 1 and Q = 1 equality.
+_PLATFORM_TOLERANCE = 1e-9
+
+
+class Scenario(enum.Enum):
+    """The five real-world transcoding contexts vbench scores."""
+
+    UPLOAD = "upload"
+    LIVE = "live"
+    VOD = "vod"
+    POPULAR = "popular"
+    PLATFORM = "platform"
+
+
+@dataclass(frozen=True)
+class Ratios:
+    """The three improvement ratios of one candidate-vs-reference pair.
+
+    Attributes:
+        speed: ``S`` -- candidate speed over reference speed.
+        bitrate: ``B`` -- reference bitrate over candidate bitrate.
+        quality: ``Q`` -- candidate quality over reference quality (dB).
+        new_quality_db: Candidate absolute quality (the VOD constraint's
+            visually-lossless escape hatch needs it).
+        new_speed_mpixels: Candidate absolute speed (the Live real-time
+            constraint needs it).
+    """
+
+    speed: float
+    bitrate: float
+    quality: float
+    new_quality_db: float
+    new_speed_mpixels: float
+
+
+@dataclass(frozen=True)
+class ScenarioScore:
+    """Outcome of scoring one video under one scenario.
+
+    ``score`` is ``None`` when the scenario's QoS constraint failed -- the
+    paper reports such cells as empty (Table 5 footnote).
+    """
+
+    scenario: "Scenario"
+    video_name: str
+    ratios: Ratios
+    constraint_met: bool
+    score: Optional[float]
+
+
+def compute_ratios(new: TranscodeResult, ref: TranscodeResult) -> Ratios:
+    """S, B, Q of a candidate against its reference transcode."""
+    ref_quality = ref.quality_db
+    ref_speed = ref.speed_mpixels
+    ref_bitrate = ref.bits_per_pixel_second
+    if ref_quality <= 0 or ref_speed <= 0 or ref_bitrate <= 0:
+        raise ValueError("reference transcode has degenerate metrics")
+    new_bitrate = new.bits_per_pixel_second
+    if new_bitrate <= 0:
+        raise ValueError("candidate transcode produced no bits")
+    return Ratios(
+        speed=new.speed_mpixels / ref_speed,
+        bitrate=ref_bitrate / new_bitrate,
+        quality=new.quality_db / ref_quality,
+        new_quality_db=new.quality_db,
+        new_speed_mpixels=new.speed_mpixels,
+    )
+
+
+def _realtime_mpixels(result: TranscodeResult) -> float:
+    """The output pixel rate the Live scenario must sustain (Mpixel/s).
+
+    Uses the *nominal* resolution: a stand-in clip for a 1080p30 stream
+    still represents a 62 Mpixel/s live obligation (see DESIGN.md on
+    simulation scale).
+    """
+    return result.source.nominal_pixel_rate / 1e6
+
+
+def score_scenario(
+    scenario: "Scenario", new: TranscodeResult, ref: TranscodeResult
+) -> ScenarioScore:
+    """Apply Table 1: check the constraint, compute the two-ratio score."""
+    ratios = compute_ratios(new, ref)
+    if scenario is Scenario.UPLOAD:
+        met = ratios.bitrate > 0.2
+        score = ratios.speed * ratios.quality if met else None
+    elif scenario is Scenario.LIVE:
+        met = ratios.new_speed_mpixels >= _realtime_mpixels(new)
+        score = ratios.bitrate * ratios.quality if met else None
+    elif scenario is Scenario.VOD:
+        met = ratios.quality >= 1.0 or ratios.new_quality_db >= VISUALLY_LOSSLESS_DB
+        score = ratios.speed * ratios.bitrate if met else None
+    elif scenario is Scenario.POPULAR:
+        met = (
+            ratios.bitrate >= 1.0
+            and ratios.quality >= 1.0
+            and ratios.speed >= 0.1
+        )
+        score = ratios.bitrate * ratios.quality if met else None
+    elif scenario is Scenario.PLATFORM:
+        met = (
+            abs(ratios.bitrate - 1.0) < _PLATFORM_TOLERANCE
+            and abs(ratios.quality - 1.0) < _PLATFORM_TOLERANCE
+        )
+        score = ratios.speed if met else None
+    else:  # pragma: no cover - enum is closed
+        raise ValueError(f"unknown scenario {scenario!r}")
+    return ScenarioScore(
+        scenario=scenario,
+        video_name=new.source.name,
+        ratios=ratios,
+        constraint_met=met,
+        score=score,
+    )

@@ -1,0 +1,26 @@
+"""The commercial corpus substrate: categories, weights, popularity.
+
+The paper's selection pipeline (Section 4.1) starts from six months of
+transcoding logs over a corpus of millions of videos.  Offline, this
+package synthesizes a corpus with the same *structure*: ~3500 weighted
+(resolution, framerate, entropy) categories whose marginals follow the
+published characterization (40+ resolutions, 200+ entropy values spanning
+four decades, power-law popularity with exponential cutoff), plus models
+of the public datasets the paper compares coverage against (Netflix,
+Xiph.org/Derf, SPEC 2006/2017).
+"""
+
+from repro.corpus.category import VideoCategory
+from repro.corpus.datasets import PUBLIC_DATASETS, dataset_categories
+from repro.corpus.kmeans import weighted_kmeans
+from repro.corpus.popularity import PopularityModel
+from repro.corpus.synthetic import SyntheticCorpus
+
+__all__ = [
+    "PUBLIC_DATASETS",
+    "PopularityModel",
+    "SyntheticCorpus",
+    "VideoCategory",
+    "dataset_categories",
+    "weighted_kmeans",
+]

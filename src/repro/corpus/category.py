@@ -1,0 +1,108 @@
+"""Video categories: the paper's unit of corpus characterization.
+
+A *category* is the set of videos sharing a (resolution, framerate,
+entropy) triple, with resolution in integer Kpixels/frame, framerate in
+integer frames/second, and entropy in bits/pixel/second at constant
+quality, rounded to one decimal place (Section 4.1).
+
+Categories also carry the feature-space transform the clustering uses:
+log2-linearized resolution and entropy, everything normalized to [-1, 1].
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["VideoCategory", "feature_matrix", "STANDARD_RESOLUTIONS"]
+
+#: The standard upload resolution ladder (width, height).
+STANDARD_RESOLUTIONS: Tuple[Tuple[int, int], ...] = (
+    (176, 144),     # 144p
+    (320, 240),     # 240p
+    (640, 360),     # 360p
+    (854, 480),     # 480p
+    (1280, 720),    # 720p
+    (1920, 1080),   # 1080p
+    (2560, 1440),   # 1440p
+    (3840, 2160),   # 2160p
+)
+
+
+@dataclass(frozen=True)
+class VideoCategory:
+    """One (resolution, framerate, entropy) corpus category.
+
+    Attributes:
+        width, height: Frame geometry in pixels.
+        framerate: Frames per second (integer, per the paper's rounding).
+        entropy: Bits/pixel/second at visually lossless constant quality,
+            rounded to one decimal.
+        weight: Total transcoding time attributed to this category in the
+            (synthetic) logs; the k-means weighting term.
+    """
+
+    width: int
+    height: int
+    framerate: int
+    entropy: float
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError(f"bad geometry {self.width}x{self.height}")
+        if self.framerate <= 0:
+            raise ValueError(f"framerate must be positive, got {self.framerate}")
+        if self.entropy <= 0:
+            raise ValueError(f"entropy must be positive, got {self.entropy}")
+        if self.weight < 0:
+            raise ValueError(f"weight must be non-negative, got {self.weight}")
+
+    @property
+    def kpixels(self) -> int:
+        """Resolution in Kpixels/frame, rounded (the paper's category key)."""
+        return int(round(self.width * self.height / 1000.0))
+
+    @property
+    def pixel_rate(self) -> float:
+        """Pixels per second of playback."""
+        return float(self.width * self.height * self.framerate)
+
+    def key(self) -> Tuple[int, int, float]:
+        """The category identity triple (Kpixels, fps, entropy@0.1)."""
+        return (self.kpixels, self.framerate, round(self.entropy, 1))
+
+    def features(self) -> Tuple[float, float, float]:
+        """Raw clustering features: (log2 Kpixels, fps, log2 entropy).
+
+        The paper linearizes resolution and entropy with base-2 logs so
+        that the clustering sees relative rather than absolute distances
+        (1 vs 2 bits/px/s is a big difference; 20 vs 21 is not).
+        """
+        return (
+            math.log2(max(self.kpixels, 1)),
+            float(self.framerate),
+            math.log2(self.entropy),
+        )
+
+
+def feature_matrix(categories: Sequence[VideoCategory]) -> np.ndarray:
+    """Normalized feature matrix for clustering: each column in [-1, 1].
+
+    Applies the paper's normalization after the log transforms.  Degenerate
+    columns (all categories equal) normalize to zero.
+    """
+    if not categories:
+        raise ValueError("need at least one category")
+    raw = np.array([c.features() for c in categories], dtype=np.float64)
+    lo = raw.min(axis=0)
+    hi = raw.max(axis=0)
+    span = hi - lo
+    out = np.zeros_like(raw)
+    for j in range(raw.shape[1]):
+        if span[j] > 0:
+            out[:, j] = 2.0 * (raw[:, j] - lo[j]) / span[j] - 1.0
+    return out

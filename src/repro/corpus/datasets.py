@@ -1,0 +1,120 @@
+"""Models of the public video datasets the paper compares against.
+
+Figure 4 and Section 5.1 contrast vbench's coverage with four public
+collections.  Each model lists the categories (resolution, framerate,
+entropy) of that collection, matching the characterization in the paper:
+
+* **netflix** -- 9 clips from a professional catalog: single resolution
+  (1080p), uniformly high entropy (it was curated for visual analysis).
+* **xiph** -- Derf's collection: 41 clips, 480p to 4K, entropy >= 1.
+* **spec2006** -- the H.264 reference encoder's two low-resolution inputs.
+* **spec2017** -- two segments of one HD animation (nearly identical
+  entropy).
+* **coverage** -- the internal YouTube coverage set: 11 log-uniform
+  entropy samples over the top six resolutions and top eight framerate
+  combinations (the black dots of Figures 4/5).
+
+Stand-in clips for any of these categories come from
+:func:`repro.corpus.synthetic.video_for_category`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+import numpy as np
+
+from repro.corpus.category import VideoCategory
+
+__all__ = ["PUBLIC_DATASETS", "dataset_categories", "coverage_set"]
+
+
+def _netflix() -> List[VideoCategory]:
+    """Nine 1080p high-entropy clips (Li et al. 2016)."""
+    entropies = (1.6, 2.2, 2.9, 3.8, 4.4, 5.1, 6.3, 7.5, 9.0)
+    fps = (24, 24, 24, 30, 24, 30, 24, 30, 24)
+    return [
+        VideoCategory(1920, 1080, f, e)
+        for e, f in zip(entropies, fps)
+    ]
+
+
+def _xiph() -> List[VideoCategory]:
+    """Derf's collection: 41 clips, 480p-4K, entropy >= 1."""
+    rng = np.random.default_rng(41)
+    resolutions = [(854, 480)] * 6 + [(1280, 720)] * 12 + [(1920, 1080)] * 17 + [
+        (3840, 2160)
+    ] * 6
+    categories = []
+    for i, (w, h) in enumerate(resolutions):
+        entropy = round(float(np.exp(rng.uniform(math.log(1.0), math.log(16.0)))), 1)
+        fps = int(rng.choice([25, 30, 50, 60], p=[0.3, 0.4, 0.15, 0.15]))
+        categories.append(VideoCategory(w, h, fps, max(1.0, entropy)))
+    return categories
+
+
+def _spec2006() -> List[VideoCategory]:
+    """The H.264 reference encoder inputs: tiny resolutions."""
+    return [
+        VideoCategory(176, 144, 30, 3.1),   # foreman-like QCIF
+        VideoCategory(640, 352, 25, 4.2),   # SSS sequence
+    ]
+
+
+def _spec2017() -> List[VideoCategory]:
+    """Two segments of the same HD animation: near-identical entropy."""
+    return [
+        VideoCategory(1280, 720, 24, 2.3),
+        VideoCategory(1280, 720, 24, 2.4),
+    ]
+
+
+#: Top resolutions/framerates covering >95% of uploads (Section 4.1).
+_COVERAGE_RESOLUTIONS = (
+    (320, 240), (640, 360), (854, 480), (1280, 720), (1920, 1080), (3840, 2160),
+)
+_COVERAGE_FRAMERATES = (12, 15, 24, 25, 30, 48, 50, 60)
+
+
+def coverage_set(samples_per_combo: int = 11) -> List[VideoCategory]:
+    """The internal coverage set: log-uniform entropy per (res, fps) combo.
+
+    11 entropy samples from 0.02 to 25 bit/px/s for each of the top-6
+    resolutions x top-8 framerates.  Weights are uniform: this set exists
+    to expose trends, not to mirror upload volume.
+    """
+    if samples_per_combo < 2:
+        raise ValueError(
+            f"need at least 2 entropy samples, got {samples_per_combo}"
+        )
+    entropies = np.exp(
+        np.linspace(math.log(0.02), math.log(25.0), samples_per_combo)
+    )
+    categories = []
+    for width, height in _COVERAGE_RESOLUTIONS:
+        for fps in _COVERAGE_FRAMERATES:
+            for entropy in entropies:
+                categories.append(
+                    VideoCategory(width, height, fps, float(entropy))
+                )
+    return categories
+
+
+PUBLIC_DATASETS: Dict[str, List[VideoCategory]] = {
+    "netflix": _netflix(),
+    "xiph": _xiph(),
+    "spec2006": _spec2006(),
+    "spec2017": _spec2017(),
+    "coverage": coverage_set(),
+}
+
+
+def dataset_categories(name: str) -> List[VideoCategory]:
+    """Categories of a named public dataset (copy; safe to mutate)."""
+    try:
+        return list(PUBLIC_DATASETS[name])
+    except KeyError:
+        raise ValueError(
+            f"unknown dataset {name!r}; expected one of {sorted(PUBLIC_DATASETS)}"
+        ) from None

@@ -1,0 +1,47 @@
+"""Transcoder backends: the systems the paper compares.
+
+Every backend implements the same :class:`~repro.encoders.base.Transcoder`
+interface -- raw video in, compressed stream plus reconstructed output and
+timing out -- so the benchmark harness can score them uniformly:
+
+* :class:`~repro.encoders.software.X264Transcoder` -- the H.264-class
+  software encoder the paper's references use (our codec with 8x8
+  transforms and the x264 preset ladder).
+* :class:`~repro.encoders.software.X265Transcoder` /
+  :class:`~repro.encoders.software.VP9Transcoder` -- newer-codec-class
+  encoders: large transforms, CABAC, RDOQ, wider search (Table 5).
+* :class:`~repro.encoders.hardware.NvencTranscoder` /
+  :class:`~repro.encoders.hardware.QsvTranscoder` -- fixed-function
+  hardware encoder models: a restricted toolset running behind an
+  analytic speed model (Tables 3/4, Figure 9).
+
+Use :func:`~repro.encoders.registry.get_transcoder` to construct backends
+by name.
+"""
+
+from repro.encoders.base import RateSpec, Transcoder, TranscodeResult
+from repro.encoders.hardware import HardwareTranscoder, NvencTranscoder, QsvTranscoder
+from repro.encoders.registry import BACKENDS, get_transcoder
+from repro.encoders.software import (
+    AV1Transcoder,
+    SoftwareTranscoder,
+    VP9Transcoder,
+    X264Transcoder,
+    X265Transcoder,
+)
+
+__all__ = [
+    "AV1Transcoder",
+    "BACKENDS",
+    "HardwareTranscoder",
+    "NvencTranscoder",
+    "QsvTranscoder",
+    "RateSpec",
+    "SoftwareTranscoder",
+    "Transcoder",
+    "TranscodeResult",
+    "VP9Transcoder",
+    "X264Transcoder",
+    "X265Transcoder",
+    "get_transcoder",
+]

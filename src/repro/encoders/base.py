@@ -1,0 +1,121 @@
+"""The common transcoder interface and result type.
+
+A *transcode* converts one compressed representation into another; our
+inputs arrive as raw :class:`~repro.video.video.Video` (the universal
+intermediate format of Section 2.5), and the backends produce a compressed
+stream plus its reconstruction.  ``TranscodeResult`` carries everything the
+paper's three metric axes need: compressed size, output pixels, and time.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.codec.instrumentation import Counters
+from repro.metrics.bitrate import bitrate_bps, bits_per_pixel_second
+from repro.metrics.psnr import psnr
+from repro.metrics.speed import megapixels_per_second
+from repro.video.video import Video
+
+__all__ = ["RateSpec", "TranscodeResult", "Transcoder"]
+
+
+@dataclass(frozen=True)
+class RateSpec:
+    """How the encoder should spend bits.
+
+    * ``RateSpec.crf(18)`` -- constant quality (Upload reference).
+    * ``RateSpec.abr(2e6)`` -- single-pass bitrate (Live).
+    * ``RateSpec.abr(2e6, two_pass=True)`` -- two-pass bitrate (VOD,
+      Popular).
+    """
+
+    kind: str
+    crf: Optional[int] = None
+    bitrate_bps: Optional[float] = None
+    two_pass: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("crf", "abr"):
+            raise ValueError(f"unknown rate kind {self.kind!r}")
+        if self.kind == "crf":
+            if self.crf is None:
+                raise ValueError("crf rate spec needs a crf value")
+            if self.two_pass:
+                raise ValueError("two-pass requires a bitrate target")
+        if self.kind == "abr" and (
+            self.bitrate_bps is None or self.bitrate_bps <= 0
+        ):
+            raise ValueError("abr rate spec needs a positive bitrate")
+
+    @classmethod
+    def for_crf(cls, crf: int) -> "RateSpec":
+        return cls(kind="crf", crf=crf)
+
+    @classmethod
+    def for_bitrate(cls, bitrate_bps: float, two_pass: bool = False) -> "RateSpec":
+        return cls(kind="abr", bitrate_bps=bitrate_bps, two_pass=two_pass)
+
+
+@dataclass
+class TranscodeResult:
+    """One transcode's outputs and costs.
+
+    Attributes:
+        source: The input video (kept for metric computation).
+        output: The reconstructed (decoded) output video.
+        compressed_bytes: Size of the produced stream.
+        seconds: Modeled transcode time on the reference platform -- the
+            deterministic quantity all speed ratios use.
+        wall_seconds: Actual wall-clock spent (diagnostics only).
+        counters: Kernel-work counters (SIMD/uarch studies).
+        backend: Name of the transcoder that produced this.
+    """
+
+    source: Video
+    output: Video
+    compressed_bytes: int
+    seconds: float
+    wall_seconds: float
+    counters: Counters
+    backend: str
+
+    @property
+    def quality_db(self) -> float:
+        """Average YCbCr PSNR of the output against the source."""
+        return psnr(self.source, self.output)
+
+    @property
+    def bitrate(self) -> float:
+        """Bits per second of the compressed stream."""
+        return bitrate_bps(self.compressed_bytes, self.source.duration)
+
+    @property
+    def bits_per_pixel_second(self) -> float:
+        """Resolution-normalized bitrate (the paper's size metric)."""
+        return bits_per_pixel_second(
+            self.compressed_bytes,
+            self.source.duration,
+            self.source.frame_pixels,
+        )
+
+    @property
+    def speed_mpixels(self) -> float:
+        """Transcoding speed in Mpixel/s (the paper's speed metric)."""
+        return megapixels_per_second(self.source.pixels, self.seconds)
+
+
+class Transcoder(abc.ABC):
+    """A transcoding backend (software encoder or hardware model)."""
+
+    #: Human-readable backend name, set by subclasses.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def transcode(self, video: Video, rate: RateSpec) -> TranscodeResult:
+        """Transcode ``video`` under the given rate specification."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

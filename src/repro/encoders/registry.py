@@ -1,0 +1,45 @@
+"""Backend registry: construct transcoders by name.
+
+Names accept an optional ``:preset`` suffix for the software backends,
+e.g. ``"x264:veryslow"`` or ``"x265"`` (which uses its Table 5 default).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.encoders.base import Transcoder
+from repro.encoders.hardware import NvencTranscoder, QsvTranscoder
+from repro.encoders.software import (
+    AV1Transcoder,
+    VP9Transcoder,
+    X264Transcoder,
+    X265Transcoder,
+)
+
+__all__ = ["BACKENDS", "get_transcoder"]
+
+BACKENDS: Dict[str, Callable[..., Transcoder]] = {
+    "x264": X264Transcoder,
+    "x265": X265Transcoder,
+    "vp9": VP9Transcoder,
+    "av1": AV1Transcoder,
+    "nvenc": NvencTranscoder,
+    "qsv": QsvTranscoder,
+}
+
+
+def get_transcoder(spec: str) -> Transcoder:
+    """Build a transcoder from a ``name`` or ``name:preset`` spec."""
+    name, _, preset_name = spec.partition(":")
+    try:
+        factory = BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; expected one of {sorted(BACKENDS)}"
+        ) from None
+    if preset_name:
+        if name in ("nvenc", "qsv"):
+            raise ValueError(f"{name} does not take a preset (got {preset_name!r})")
+        return factory(preset_name)
+    return factory()

@@ -1,0 +1,33 @@
+"""Transcoding metrics: quality, size, and speed (Section 2.3 of the paper).
+
+All three metrics are normalized so videos of different resolutions and
+durations can be compared:
+
+* quality: average YCbCr PSNR in dB (:func:`psnr`), plus SSIM;
+* size: bitrate in bits per pixel per second (:func:`bits_per_pixel_second`);
+* speed: pixels transcoded per second (:func:`pixels_per_second`).
+"""
+
+from repro.metrics.bitrate import bits_per_pixel_second, bitrate_bps
+from repro.metrics.perceptual import multiscale_ssim, perceptual_score
+from repro.metrics.psnr import mse, plane_psnr, psnr, psnr_frames
+from repro.metrics.speed import megapixels_per_second, pixels_per_second
+from repro.metrics.ssim import ssim, ssim_video
+from repro.metrics.bdrate import bd_rate, bd_psnr
+
+__all__ = [
+    "bd_psnr",
+    "bd_rate",
+    "bitrate_bps",
+    "bits_per_pixel_second",
+    "megapixels_per_second",
+    "mse",
+    "multiscale_ssim",
+    "perceptual_score",
+    "pixels_per_second",
+    "plane_psnr",
+    "psnr",
+    "psnr_frames",
+    "ssim",
+    "ssim_video",
+]

@@ -1,0 +1,77 @@
+"""Bjontegaard delta metrics: average bitrate/quality gap between RD curves.
+
+BD-rate is the video community's standard summary of the rate-distortion
+comparison the paper draws in Figure 2: the average bitrate difference (in
+percent) between two encoders at equal quality, integrated over the
+overlapping quality range.  Computed, per Bjontegaard's method, by fitting a
+cubic through (log-bitrate, PSNR) points and integrating the difference.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["bd_rate", "bd_psnr"]
+
+
+def _validate(rates: Sequence[float], psnrs: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    r = np.asarray(rates, dtype=np.float64)
+    q = np.asarray(psnrs, dtype=np.float64)
+    if r.shape != q.shape or r.ndim != 1:
+        raise ValueError("rates and psnrs must be 1-D sequences of equal length")
+    if r.size < 4:
+        raise ValueError(f"BD metrics need at least 4 RD points, got {r.size}")
+    if np.any(r <= 0):
+        raise ValueError("bitrates must be positive")
+    order = np.argsort(q)
+    return np.log(r[order]), q[order]
+
+
+def _poly_integral(x: np.ndarray, y: np.ndarray, lo: float, hi: float) -> float:
+    """Integrate a cubic fit of y(x) between lo and hi."""
+    coeffs = np.polyfit(x, y, 3)
+    integral = np.polyint(coeffs)
+    return float(np.polyval(integral, hi) - np.polyval(integral, lo))
+
+
+def bd_rate(
+    anchor_rates: Sequence[float],
+    anchor_psnrs: Sequence[float],
+    test_rates: Sequence[float],
+    test_psnrs: Sequence[float],
+) -> float:
+    """Average bitrate change of *test* vs *anchor* at equal quality (%).
+
+    Negative values mean the test encoder needs fewer bits (it is better).
+    """
+    log_ra, qa = _validate(anchor_rates, anchor_psnrs)
+    log_rt, qt = _validate(test_rates, test_psnrs)
+    lo = max(qa.min(), qt.min())
+    hi = min(qa.max(), qt.max())
+    if hi <= lo:
+        raise ValueError("RD curves do not overlap in quality; BD-rate undefined")
+    # Fit log-rate as a function of quality and integrate over shared range.
+    int_anchor = _poly_integral(qa, log_ra, lo, hi)
+    int_test = _poly_integral(qt, log_rt, lo, hi)
+    avg_diff = (int_test - int_anchor) / (hi - lo)
+    return float((np.exp(avg_diff) - 1.0) * 100.0)
+
+
+def bd_psnr(
+    anchor_rates: Sequence[float],
+    anchor_psnrs: Sequence[float],
+    test_rates: Sequence[float],
+    test_psnrs: Sequence[float],
+) -> float:
+    """Average PSNR gain of *test* vs *anchor* at equal bitrate (dB)."""
+    log_ra, qa = _validate(anchor_rates, anchor_psnrs)
+    log_rt, qt = _validate(test_rates, test_psnrs)
+    lo = max(log_ra.min(), log_rt.min())
+    hi = min(log_ra.max(), log_rt.max())
+    if hi <= lo:
+        raise ValueError("RD curves do not overlap in bitrate; BD-PSNR undefined")
+    int_anchor = _poly_integral(log_ra, qa, lo, hi)
+    int_test = _poly_integral(log_rt, qt, lo, hi)
+    return float((int_test - int_anchor) / (hi - lo))

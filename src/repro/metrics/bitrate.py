@@ -1,0 +1,36 @@
+"""Video size metrics.
+
+Raw bitrate (bits per second) depends on resolution, so the paper reports
+bitrate normalized by the number of pixels in each frame: bits per pixel
+per second.  This makes a 4K stream and a 480p stream directly comparable:
+a 1080p clip at 4 Mb/s is ~1.9 bit/pixel/s regardless of its framerate.
+"""
+
+from __future__ import annotations
+
+__all__ = ["bitrate_bps", "bits_per_pixel_second"]
+
+
+def bitrate_bps(compressed_bytes: int, duration_seconds: float) -> float:
+    """Bitrate in bits/second of a compressed payload."""
+    if compressed_bytes < 0:
+        raise ValueError(f"byte count must be non-negative, got {compressed_bytes}")
+    if duration_seconds <= 0:
+        raise ValueError(f"duration must be positive, got {duration_seconds}")
+    return compressed_bytes * 8.0 / duration_seconds
+
+
+def bits_per_pixel_second(
+    compressed_bytes: int,
+    duration_seconds: float,
+    frame_pixels: int,
+) -> float:
+    """Bitrate normalized per frame pixel: bits / pixel / second.
+
+    ``bitrate_bps / frame_pixels`` -- the paper's size metric and (when the
+    payload comes from a constant-quality CRF-18 encode) its *entropy*
+    measure.
+    """
+    if frame_pixels <= 0:
+        raise ValueError(f"frame_pixels must be positive, got {frame_pixels}")
+    return bitrate_bps(compressed_bytes, duration_seconds) / frame_pixels

@@ -1,0 +1,24 @@
+"""Transcoding speed metrics.
+
+Speed is normalized like bitrate: frames per second of transcoding
+multiplied by pixels per frame, i.e. pixels transcoded per second.  The
+paper reports Mpixel/s.
+"""
+
+from __future__ import annotations
+
+__all__ = ["pixels_per_second", "megapixels_per_second"]
+
+
+def pixels_per_second(total_pixels: int, transcode_seconds: float) -> float:
+    """Pixels transcoded per second of compute time."""
+    if total_pixels <= 0:
+        raise ValueError(f"pixel count must be positive, got {total_pixels}")
+    if transcode_seconds <= 0:
+        raise ValueError(f"transcode time must be positive, got {transcode_seconds}")
+    return total_pixels / transcode_seconds
+
+
+def megapixels_per_second(total_pixels: int, transcode_seconds: float) -> float:
+    """Speed in Mpixel/s, the unit used in the paper's plots."""
+    return pixels_per_second(total_pixels, transcode_seconds) / 1e6

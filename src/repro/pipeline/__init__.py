@@ -1,0 +1,23 @@
+"""Video sharing service simulation (Section 2.5, Figure 3).
+
+Models the transcoding passes of a YouTube-class infrastructure: uploads
+arrive in arbitrary formats, get a universal transcode, then live or VOD
+transcodes into the delivery ladder; videos observed to be popular earn a
+high-effort re-transcode whose cost is amortized over their many
+playbacks.  A storage/network/compute cost model quantifies the tradeoffs
+the paper's scenarios encode.
+"""
+
+from repro.pipeline.costs import CostModel, CostReport
+from repro.pipeline.ladder import LadderRung, build_ladder
+from repro.pipeline.service import ServiceConfig, SharingService, VideoRecord
+
+__all__ = [
+    "CostModel",
+    "CostReport",
+    "LadderRung",
+    "ServiceConfig",
+    "SharingService",
+    "VideoRecord",
+    "build_ladder",
+]

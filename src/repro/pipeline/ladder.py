@@ -1,0 +1,93 @@
+"""Per-title bitrate ladders: the VOD packaging layer.
+
+Section 2.5: every upload "must be converted to a range of resolutions,
+formats, and bitrates to suit varied viewer capabilities".  A fixed
+bitrate table wastes bits on easy titles and starves hard ones, so
+services derive *per-title* ladders: for each quality rung, find the
+smallest bitrate that reaches it on this content.
+
+``build_ladder`` does exactly that with the bisection harness, producing
+the (quality target, bitrate, achieved quality) rungs a packager would
+hand to the CDN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.harness import bisect_to_quality
+from repro.encoders.base import Transcoder
+from repro.encoders.registry import get_transcoder
+from repro.video.video import Video
+
+__all__ = ["LadderRung", "build_ladder", "DEFAULT_QUALITY_TARGETS"]
+
+#: Default quality rungs in dB: from watchable-on-mobile to archival.
+DEFAULT_QUALITY_TARGETS = (32.0, 36.0, 40.0, 44.0)
+
+
+@dataclass(frozen=True)
+class LadderRung:
+    """One delivery rung of a per-title ladder."""
+
+    target_db: float
+    bitrate_bps: float
+    achieved_db: float
+    compressed_bytes: int
+
+    @property
+    def reached(self) -> bool:
+        """Whether the encoder actually hit this rung's quality."""
+        return self.achieved_db >= self.target_db - 0.1
+
+
+def build_ladder(
+    video: Video,
+    backend: "str | Transcoder" = "x264:medium",
+    quality_targets: Sequence[float] = DEFAULT_QUALITY_TARGETS,
+    initial_bitrate: Optional[float] = None,
+    iterations: int = 6,
+) -> List[LadderRung]:
+    """Derive a per-title ladder: minimal bitrate per quality rung.
+
+    Args:
+        video: The title (its universal-format mezzanine).
+        backend: Transcoder used for the delivery encodes.
+        quality_targets: Ascending PSNR rungs in dB.
+        initial_bitrate: Bisection starting point; defaults to 1 bit/px/s.
+        iterations: Bisection budget per rung.
+
+    Returns:
+        One :class:`LadderRung` per target, ascending.  Rungs the encoder
+        cannot reach are still returned (with ``reached`` False) so the
+        packager can drop them explicitly.
+    """
+    targets = list(quality_targets)
+    if not targets:
+        raise ValueError("need at least one quality target")
+    if any(b <= a for a, b in zip(targets, targets[1:])):
+        raise ValueError("quality targets must be strictly ascending")
+    transcoder = get_transcoder(backend) if isinstance(backend, str) else backend
+    start = initial_bitrate or float(video.frame_pixels) * 1.0
+    rungs: List[LadderRung] = []
+    for target in targets:
+        result = bisect_to_quality(
+            transcoder,
+            video,
+            target_db=target,
+            initial_bitrate=start,
+            two_pass=False,
+            iterations=iterations,
+        )
+        rungs.append(
+            LadderRung(
+                target_db=target,
+                bitrate_bps=result.bitrate,
+                achieved_db=result.quality_db,
+                compressed_bytes=result.compressed_bytes,
+            )
+        )
+        # The next (higher) rung cannot need less than this one found.
+        start = max(result.bitrate, start)
+    return rungs

@@ -1,0 +1,43 @@
+"""SIMD/ISA cycle attribution and the deterministic speed model.
+
+The paper's Section 5.2 analyzes how much of transcoding is vectorizable,
+which ISA generation each kernel actually exploits, and what Amdahl's Law
+says about wider vectors.  This package reproduces that analysis from the
+encoder's kernel-work counters:
+
+* :mod:`repro.simd.isa` -- ISA generations and their vector widths.
+* :mod:`repro.simd.kernels` -- the kernel catalog: operations per unit of
+  work, vectorizable fraction, exploitable lanes.
+* :mod:`repro.simd.analysis` -- cycle accounting: modeled time (the
+  benchmark's deterministic speed metric), scalar/vector fractions
+  (Figure 7), per-ISA breakdowns (Figure 8), Amdahl projections.
+
+Wall-clock time of a pure-Python encoder measures the interpreter, not the
+algorithm; the cycle model measures the *work the encoder actually did*,
+which is the paper-relevant quantity (see DESIGN.md).
+"""
+
+from repro.simd.analysis import (
+    amdahl_speedup_bound,
+    cycle_breakdown,
+    isa_breakdown,
+    modeled_seconds,
+    scalar_fraction,
+    vector_fraction_by_isa,
+)
+from repro.simd.isa import ISA_LADDER, IsaLevel
+from repro.simd.kernels import KERNEL_SPECS, KernelSpec, cycles_per_unit
+
+__all__ = [
+    "ISA_LADDER",
+    "IsaLevel",
+    "KERNEL_SPECS",
+    "KernelSpec",
+    "amdahl_speedup_bound",
+    "cycle_breakdown",
+    "cycles_per_unit",
+    "isa_breakdown",
+    "modeled_seconds",
+    "scalar_fraction",
+    "vector_fraction_by_isa",
+]

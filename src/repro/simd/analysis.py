@@ -1,0 +1,192 @@
+"""Cycle accounting over kernel counters: speed, fractions, breakdowns.
+
+These functions turn a :class:`~repro.codec.instrumentation.Counters`
+object (what an encode actually did) into the numbers the paper reports:
+
+* :func:`modeled_seconds` -- the deterministic time metric behind every
+  speed number in the benchmark;
+* :func:`scalar_fraction` / :func:`vector_fraction_by_isa` -- Figure 7;
+* :func:`isa_breakdown` -- Figure 8's stacked per-generation cycles;
+* :func:`amdahl_speedup_bound` -- the "less than 10% from 2x wider SIMD"
+  argument of Section 5.2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.codec.instrumentation import Counters
+from repro.simd.isa import ISA_LADDER, IsaLevel
+from repro.simd.kernels import (
+    KERNEL_SPECS,
+    attributed_isa,
+    cycles_per_unit,
+    transform_scale,
+    CALIBRATION_OPS_SCALE,
+)
+
+__all__ = [
+    "REFERENCE_FREQ_HZ",
+    "cycle_breakdown",
+    "modeled_seconds",
+    "modeled_instructions",
+    "scalar_fraction",
+    "vector_fraction_by_isa",
+    "isa_breakdown",
+    "amdahl_speedup_bound",
+]
+
+#: The paper's reference machine: Intel Core i7-6700K @ 4.00 GHz.
+REFERENCE_FREQ_HZ = 4.0e9
+
+
+def cycle_breakdown(
+    counters: Counters,
+    isa: IsaLevel = IsaLevel.AVX2,
+    transform_size: int = 8,
+) -> Dict[str, float]:
+    """Modeled cycles per kernel for a finished encode."""
+    out: Dict[str, float] = {}
+    for kernel, units in counters.as_dict().items():
+        spec = KERNEL_SPECS[kernel]
+        out[kernel] = units * cycles_per_unit(spec, isa, transform_size)
+    return out
+
+
+def modeled_seconds(
+    counters: Counters,
+    isa: IsaLevel = IsaLevel.AVX2,
+    transform_size: int = 8,
+    freq_hz: float = REFERENCE_FREQ_HZ,
+) -> float:
+    """Modeled CPU seconds of an encode on the reference machine."""
+    if freq_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {freq_hz}")
+    return sum(cycle_breakdown(counters, isa, transform_size).values()) / freq_hz
+
+
+def modeled_instructions(counters: Counters, transform_size: int = 8) -> float:
+    """Modeled dynamic instruction count (retired-instruction equivalent).
+
+    Vector instructions retire work for many lanes at once, so the retired
+    stream is approximated by the AVX2 cycle count (ops/lanes for vector
+    code plus scalar ops).  The calibration scale is divided out: MPKI
+    metrics normalize microarchitectural events against the instruction
+    stream of the *modeled* codec, whose events the tracer records --
+    keeping numerator and denominator in the same universe (Figure 5).
+    """
+    total = sum(
+        cycle_breakdown(counters, IsaLevel.AVX2, transform_size).values()
+    )
+    return total / CALIBRATION_OPS_SCALE
+
+
+def scalar_fraction(
+    counters: Counters,
+    isa: IsaLevel = IsaLevel.AVX2,
+    transform_size: int = 8,
+) -> float:
+    """Fraction of modeled cycles spent in scalar (non-vector) code."""
+    total = 0.0
+    scalar = 0.0
+    for kernel, units in counters.as_dict().items():
+        spec = KERNEL_SPECS[kernel]
+        cycles = units * cycles_per_unit(spec, isa, transform_size)
+        total += cycles
+        ops = (
+            units * spec.ops_per_unit
+            * transform_scale(kernel, transform_size)
+            * CALIBRATION_OPS_SCALE
+        )
+        scalar += ops * (1.0 - spec.vector_fraction)
+        if isa < spec.min_isa:
+            # Vector part runs scalar too when its ISA is unavailable.
+            scalar += ops * spec.vector_fraction
+    if total == 0.0:
+        raise ValueError("empty counters: nothing was encoded")
+    return scalar / total
+
+
+def vector_fraction_by_isa(
+    counters: Counters,
+    enabled: IsaLevel = IsaLevel.AVX2,
+    transform_size: int = 8,
+) -> Dict[IsaLevel, float]:
+    """Fraction of modeled cycles attributed to each ISA generation.
+
+    The sum over all generations (including SCALAR) is 1.  This is the
+    quantity plotted against entropy in Figure 7 (scalar and AVX2 series)
+    and stacked in Figure 8.
+    """
+    cycles_by_isa: Dict[IsaLevel, float] = {level: 0.0 for level in ISA_LADDER}
+    total = 0.0
+    for kernel, units in counters.as_dict().items():
+        spec = KERNEL_SPECS[kernel]
+        cycles = units * cycles_per_unit(spec, enabled, transform_size)
+        total += cycles
+        ops = (
+            units * spec.ops_per_unit
+            * transform_scale(kernel, transform_size)
+            * CALIBRATION_OPS_SCALE
+        )
+        scalar_cycles = ops * (1.0 - spec.vector_fraction)
+        if enabled < spec.min_isa:
+            scalar_cycles = cycles
+            vector_cycles = 0.0
+        else:
+            vector_cycles = cycles - scalar_cycles
+        cycles_by_isa[IsaLevel.SCALAR] += scalar_cycles
+        if vector_cycles > 0.0:
+            cycles_by_isa[attributed_isa(spec, enabled)] += vector_cycles
+    if total == 0.0:
+        raise ValueError("empty counters: nothing was encoded")
+    return {level: c / total for level, c in cycles_by_isa.items()}
+
+
+def isa_breakdown(
+    counters: Counters, transform_size: int = 8
+) -> Dict[IsaLevel, Dict[IsaLevel, float]]:
+    """Figure 8: for each *enabled* ISA level, total cycles by *used* level.
+
+    Returns ``{enabled: {used: cycles}}``.  Cycles are absolute, so rows
+    can be normalized to the AVX2 row the way the paper normalizes its
+    bars.
+    """
+    out: Dict[IsaLevel, Dict[IsaLevel, float]] = {}
+    for enabled in ISA_LADDER:
+        row: Dict[IsaLevel, float] = {level: 0.0 for level in ISA_LADDER}
+        for kernel, units in counters.as_dict().items():
+            spec = KERNEL_SPECS[kernel]
+            cycles = units * cycles_per_unit(spec, enabled, transform_size)
+            ops = (
+                units * spec.ops_per_unit
+                * transform_scale(kernel, transform_size)
+                * CALIBRATION_OPS_SCALE
+            )
+            scalar_cycles = ops * (1.0 - spec.vector_fraction)
+            if enabled < spec.min_isa:
+                row[IsaLevel.SCALAR] += cycles
+            else:
+                row[IsaLevel.SCALAR] += scalar_cycles
+                row[attributed_isa(spec, enabled)] += cycles - scalar_cycles
+        out[enabled] = row
+    return out
+
+
+def amdahl_speedup_bound(
+    counters: Counters,
+    target: IsaLevel = IsaLevel.AVX2,
+    widen_factor: float = 2.0,
+    transform_size: int = 8,
+) -> float:
+    """Upper bound on speedup if ``target``-attributed code ran
+    ``widen_factor``x faster (Section 5.2's hypothetical 512-bit SIMD).
+
+    Amdahl's Law over the attributed cycle fractions: only the cycles that
+    actually execute ``target`` instructions can benefit.
+    """
+    if widen_factor <= 0:
+        raise ValueError(f"widen factor must be positive, got {widen_factor}")
+    fractions = vector_fraction_by_isa(counters, IsaLevel.AVX2, transform_size)
+    f = fractions.get(target, 0.0)
+    return 1.0 / ((1.0 - f) + f / widen_factor)

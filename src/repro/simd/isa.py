@@ -1,0 +1,61 @@
+"""x86 SIMD generations and their usable vector widths.
+
+Widths are the *effective parallel lanes* for the two data domains video
+kernels live in: 8/16-bit integer pixel arithmetic and 32-bit float
+transform arithmetic.  Note the historical quirks the paper's Figure 8
+turns on: SSE only widened floats (integers stayed at MMX's 64 bits),
+AVX only widened floats again (integer AVX2 came a generation later), so
+integer kernels saw their last width doubling with SSE2 until AVX2.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["IsaLevel", "ISA_LADDER", "int_lanes", "float_lanes"]
+
+
+class IsaLevel(enum.IntEnum):
+    """SIMD instruction-set generations, in introduction order."""
+
+    SCALAR = 0
+    SSE = 1
+    SSE2 = 2
+    SSE3 = 3
+    SSE4 = 4
+    AVX = 5
+    AVX2 = 6
+
+
+#: The ladder in introduction order (what Figure 8 sweeps).
+ISA_LADDER = tuple(IsaLevel)
+
+_INT_LANES = {
+    IsaLevel.SCALAR: 1,
+    IsaLevel.SSE: 8,      # 64-bit MMX-heritage integer ops
+    IsaLevel.SSE2: 16,    # 128-bit integer
+    IsaLevel.SSE3: 16,
+    IsaLevel.SSE4: 16,
+    IsaLevel.AVX: 16,     # AVX1 did not widen integer ops
+    IsaLevel.AVX2: 32,    # 256-bit integer
+}
+
+_FLOAT_LANES = {
+    IsaLevel.SCALAR: 1,
+    IsaLevel.SSE: 4,
+    IsaLevel.SSE2: 4,
+    IsaLevel.SSE3: 4,
+    IsaLevel.SSE4: 4,
+    IsaLevel.AVX: 8,
+    IsaLevel.AVX2: 8,
+}
+
+
+def int_lanes(isa: IsaLevel) -> int:
+    """Parallel 8-bit integer lanes available at this ISA level."""
+    return _INT_LANES[isa]
+
+
+def float_lanes(isa: IsaLevel) -> int:
+    """Parallel 32-bit float lanes available at this ISA level."""
+    return _FLOAT_LANES[isa]

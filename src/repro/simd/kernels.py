@@ -1,0 +1,156 @@
+"""The kernel catalog: cost and vectorizability of every codec kernel.
+
+Each :class:`KernelSpec` describes one kernel the instrumented codec
+counts (see :data:`repro.codec.instrumentation.KERNELS`):
+
+* ``ops_per_unit`` -- scalar operations per counted unit of work (one SAD
+  evaluation, one 8x8 transform, one entropy symbol, ...), estimated from
+  the arithmetic the kernel performs.
+* ``vector_fraction`` -- the share of those operations that data-parallel
+  hardware can execute in lockstep.  Decision logic, carries, and bit
+  twiddling stay scalar -- this is the Amdahl term the paper measures at
+  ~60% scalar overall (Figure 7).
+* ``max_lanes`` -- the widest useful vector for the kernel.  Most pixel
+  kernels work on 16-pixel macroblock rows, so they cannot exploit
+  32-lane AVX2 ("the width of macroblocks [is] smaller than the AVX2
+  vector length", Section 5.2).
+* ``domain`` -- integer pixel math or float transform math (different ISA
+  widths, see :mod:`repro.simd.isa`).
+* ``min_isa`` -- the generation whose instructions the vectorized
+  implementation first required (e.g. quantization needs SSE4's packed
+  multiply).
+
+``CALIBRATION_OPS_SCALE`` maps our codec's work onto the paper's reference
+encoder: a production encoder spends a documented multiple of our codec's
+arithmetic on tools we do not implement (multiple partition sizes and
+reference frames, lookahead, trellis).  The constant shifts absolute
+modeled speeds into the regime of the paper's Figure 2 without touching
+any ratio between presets, backends, or videos.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.simd.isa import IsaLevel, float_lanes, int_lanes
+
+__all__ = [
+    "KernelSpec",
+    "KERNEL_SPECS",
+    "CALIBRATION_OPS_SCALE",
+    "cycles_per_unit",
+    "attributed_isa",
+    "transform_scale",
+]
+
+#: Unimplemented-tool multiplier (see module docstring).
+CALIBRATION_OPS_SCALE = 10.0
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Cost/vectorizability description of one codec kernel."""
+
+    name: str
+    ops_per_unit: float
+    vector_fraction: float
+    max_lanes: int
+    domain: str = "int"  # "int" or "float"
+    min_isa: IsaLevel = IsaLevel.SSE2
+
+    def __post_init__(self) -> None:
+        if self.ops_per_unit <= 0:
+            raise ValueError(f"{self.name}: ops_per_unit must be positive")
+        if not 0.0 <= self.vector_fraction <= 1.0:
+            raise ValueError(f"{self.name}: vector_fraction must be in [0, 1]")
+        if self.max_lanes < 1:
+            raise ValueError(f"{self.name}: max_lanes must be >= 1")
+        if self.domain not in ("int", "float"):
+            raise ValueError(f"{self.name}: domain must be 'int' or 'float'")
+
+    def lanes_at(self, isa: IsaLevel) -> int:
+        """Usable lanes when ISAs up to ``isa`` are enabled."""
+        if isa < self.min_isa:
+            return 1
+        hw = int_lanes(isa) if self.domain == "int" else float_lanes(isa)
+        return max(1, min(self.max_lanes, hw))
+
+
+#: One spec per instrumented kernel.  Units follow the counter semantics in
+#: the encoder: sad = one 16x16 SAD, dct = one 8x8 transform block (16x16
+#: blocks are rescaled via :func:`transform_scale`), entropy = one
+#: symbol/bin, deblock = one filtered edge pixel, etc.
+KERNEL_SPECS: Dict[str, KernelSpec] = {
+    "frame_setup": KernelSpec("frame_setup", 9_000, 0.50, 16),
+    "sad": KernelSpec("sad", 512, 0.95, 32, "int", IsaLevel.SSE),
+    "interp_halfpel": KernelSpec("interp_halfpel", 768, 0.90, 16, "int", IsaLevel.SSE2),
+    "mc_blocks": KernelSpec("mc_blocks", 1024, 0.92, 32, "int", IsaLevel.SSE2),
+    "intra_pred": KernelSpec("intra_pred", 96, 0.50, 8, "int", IsaLevel.SSE),
+    "mode_decision": KernelSpec("mode_decision", 150, 0.0, 1),
+    "dct": KernelSpec("dct", 1024, 0.90, 8, "float", IsaLevel.SSE2),
+    "quant": KernelSpec("quant", 192, 0.90, 16, "int", IsaLevel.SSE4),
+    "rdoq": KernelSpec("rdoq", 420, 0.60, 16, "int", IsaLevel.SSE4),
+    "idct": KernelSpec("idct", 1024, 0.90, 8, "float", IsaLevel.SSE2),
+    "dequant": KernelSpec("dequant", 160, 0.90, 16, "int", IsaLevel.SSE3),
+    "recon": KernelSpec("recon", 640, 0.95, 16, "int", IsaLevel.SSE2),
+    "entropy_sym": KernelSpec("entropy_sym", 45, 0.0, 1),
+    "entropy_bin": KernelSpec("entropy_bin", 14, 0.0, 1),
+    "deblock_edge": KernelSpec("deblock_edge", 12, 0.80, 16, "int", IsaLevel.SSE3),
+    "ratecontrol": KernelSpec("ratecontrol", 2_500, 0.0, 1),
+    "bitstream_io": KernelSpec("bitstream_io", 4, 0.50, 16, "int", IsaLevel.SSE2),
+    "me_blocks": KernelSpec("me_blocks", 200, 0.0, 1),
+}
+
+#: Kernels whose unit cost scales with the residual transform size.
+_TRANSFORM_KERNELS_CUBIC = ("dct", "idct")
+_TRANSFORM_KERNELS_SQUARE = ("quant", "dequant", "rdoq")
+
+
+def transform_scale(kernel: str, transform_size: int) -> float:
+    """Unit-cost multiplier for large-transform configurations.
+
+    The separable DCT is O(S^3); element-wise quantization is O(S^2).
+    Specs are written for S = 8, so a 16x16 transform costs 8x per block
+    for the DCT and 4x for quantization.
+    """
+    ratio = transform_size / 8.0
+    if kernel in _TRANSFORM_KERNELS_CUBIC:
+        return ratio**3
+    if kernel in _TRANSFORM_KERNELS_SQUARE:
+        return ratio**2
+    return 1.0
+
+
+def cycles_per_unit(
+    spec: KernelSpec, isa: IsaLevel, transform_size: int = 8
+) -> float:
+    """Modeled cycles for one unit of this kernel at an ISA level.
+
+    The vectorizable fraction is divided across the usable lanes; the
+    scalar remainder runs at one op per cycle.  Includes the calibration
+    scale (see module docstring).
+    """
+    lanes = spec.lanes_at(isa)
+    ops = spec.ops_per_unit * transform_scale(spec.name, transform_size)
+    ops *= CALIBRATION_OPS_SCALE
+    return ops * ((1.0 - spec.vector_fraction) + spec.vector_fraction / lanes)
+
+
+def attributed_isa(spec: KernelSpec, enabled: IsaLevel) -> IsaLevel:
+    """Which ISA generation the kernel's vector code actually uses.
+
+    The earliest generation that already supplies all the lanes the kernel
+    can exploit: enabling AVX2 does not move a 16-lane kernel off its
+    SSE2-class instructions, which is exactly why AVX2 "only partially
+    replaces AVX" in the paper's breakdown.
+    """
+    if spec.vector_fraction == 0.0 or enabled < spec.min_isa:
+        return IsaLevel.SCALAR
+    usable = spec.lanes_at(enabled)
+    for level in IsaLevel:
+        if level < spec.min_isa:
+            continue
+        if spec.lanes_at(level) >= usable and level <= enabled:
+            return level
+    return enabled

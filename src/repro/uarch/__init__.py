@@ -1,0 +1,32 @@
+"""Microarchitecture simulation: caches, branch prediction, Top-Down.
+
+The paper's Section 5.1 characterizes how transcoding exercises a CPU:
+instruction-cache and branch-predictor pressure grow with video entropy,
+last-level-cache misses shrink, and Top-Down cycle accounting shows where
+time goes.  This package replays the instrumented encoder's traces
+(:class:`repro.codec.instrumentation.TraceRecorder`) through structural
+models:
+
+* :mod:`repro.uarch.cache` -- set-associative LRU caches (I-cache, LLC).
+* :mod:`repro.uarch.branch` -- bimodal and gshare predictors.
+* :mod:`repro.uarch.cpu` -- ties trace + models into per-encode MPKI
+  numbers (Figure 5).
+* :mod:`repro.uarch.topdown` -- FE/BAD/BE-Mem/BE-Core/RET cycle
+  accounting (Figure 6).
+"""
+
+from repro.uarch.branch import BimodalPredictor, GsharePredictor
+from repro.uarch.cache import SetAssociativeCache
+from repro.uarch.cpu import CpuModel, UarchProfile, profile_encode
+from repro.uarch.topdown import TopDownBreakdown, top_down
+
+__all__ = [
+    "BimodalPredictor",
+    "CpuModel",
+    "GsharePredictor",
+    "SetAssociativeCache",
+    "TopDownBreakdown",
+    "UarchProfile",
+    "profile_encode",
+    "top_down",
+]

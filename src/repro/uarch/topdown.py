@@ -1,0 +1,88 @@
+"""Top-Down cycle accounting (Yasin 2014), as the paper uses in Figure 6.
+
+The Top-Down method attributes every issue slot to one of five buckets:
+front-end bound (FE), bad speculation (BAD), back-end memory bound
+(BE/Mem), back-end core bound (BE/Core), and retiring (RET).  We compute
+the buckets from the pieces the simulators give us:
+
+* base execution cycles from the kernel cycle model;
+* FE stall cycles from I-cache misses x refill penalty;
+* BAD cycles from branch mispredictions x pipeline restart penalty;
+* BE/Mem cycles from LLC misses x memory latency;
+* BE/Core from each kernel's functional-unit pressure (the vector
+  fraction waits on ports), RET as the remainder.
+
+The paper's headline numbers -- ~15% FE, ~10% BAD, ~15% BE/Mem, ~60%
+retiring or core-bound -- emerge for mid-entropy content.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codec.instrumentation import Counters
+from repro.simd.analysis import cycle_breakdown
+from repro.simd.isa import IsaLevel
+from repro.simd.kernels import CALIBRATION_OPS_SCALE, KERNEL_SPECS
+from repro.uarch.cpu import UarchProfile
+
+__all__ = ["TopDownBreakdown", "top_down"]
+
+#: Miss/misprediction penalties in cycles (Skylake-class).
+ICACHE_MISS_PENALTY = 14.0
+BRANCH_MISPREDICT_PENALTY = 16.0
+LLC_MISS_PENALTY = 180.0
+#: How much of a kernel's vector-issue time contends for execution ports.
+_CORE_PRESSURE = 0.45
+
+
+@dataclass(frozen=True)
+class TopDownBreakdown:
+    """Fractions of total slots per Top-Down bucket (they sum to 1)."""
+
+    frontend: float
+    bad_speculation: float
+    backend_memory: float
+    backend_core: float
+    retiring: float
+
+    def as_dict(self) -> dict:
+        return {
+            "FE": self.frontend,
+            "BAD": self.bad_speculation,
+            "BE/Mem": self.backend_memory,
+            "BE/Core": self.backend_core,
+            "RET": self.retiring,
+        }
+
+
+def top_down(
+    counters: Counters,
+    profile: UarchProfile,
+    transform_size: int = 8,
+) -> TopDownBreakdown:
+    """Top-Down buckets for one encode (counters + uarch profile)."""
+    per_kernel = cycle_breakdown(counters, IsaLevel.AVX2, transform_size)
+    base = sum(per_kernel.values())
+    if base <= 0:
+        raise ValueError("empty counters: nothing was encoded")
+    core = sum(
+        cycles * KERNEL_SPECS[kernel].vector_fraction * _CORE_PRESSURE
+        for kernel, cycles in per_kernel.items()
+    )
+    retiring = base - core
+    # The tracer records the modeled codec's events; the cycle base covers
+    # the full (calibrated) encoder, whose event density is proportional.
+    # Scale the events into the same universe before mixing.
+    scale = CALIBRATION_OPS_SCALE
+    frontend = profile.icache_misses * ICACHE_MISS_PENALTY * scale
+    bad = profile.branch_mispredictions * BRANCH_MISPREDICT_PENALTY * scale
+    memory = profile.llc_misses * LLC_MISS_PENALTY * scale
+    total = base + frontend + bad + memory
+    return TopDownBreakdown(
+        frontend=frontend / total,
+        bad_speculation=bad / total,
+        backend_memory=memory / total,
+        backend_core=core / total,
+        retiring=retiring / total,
+    )

@@ -1,0 +1,76 @@
+"""Color conversion between RGB and planar YUV 4:2:0 (BT.601, full range).
+
+Encoders work in YUV because it separates luminosity from color, letting the
+codec spend more bits on the luma plane that human vision is most sensitive
+to, and subsample the chroma planes 2x in each dimension (Section 2.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.video.frame import Frame
+
+__all__ = [
+    "rgb_to_yuv420",
+    "yuv420_to_rgb",
+    "subsample_chroma",
+    "upsample_chroma",
+]
+
+# BT.601 full-range analog coefficients.
+_KR, _KG, _KB = 0.299, 0.587, 0.114
+
+
+def rgb_to_yuv420(rgb: np.ndarray) -> Frame:
+    """Convert an ``(H, W, 3)`` RGB image to a 4:2:0 :class:`Frame`.
+
+    Accepts uint8 or float input; floats are interpreted on the 0..255
+    scale.  Height and width must be even.
+    """
+    arr = np.asarray(rgb, dtype=np.float64)
+    if arr.ndim != 3 or arr.shape[2] != 3:
+        raise ValueError(f"expected (H, W, 3) RGB input, got shape {arr.shape}")
+    height, width = arr.shape[:2]
+    if height % 2 or width % 2:
+        raise ValueError(f"RGB image must have even dimensions, got {width}x{height}")
+    r, g, b = arr[..., 0], arr[..., 1], arr[..., 2]
+    y = _KR * r + _KG * g + _KB * b
+    u = (b - y) / (2.0 * (1.0 - _KB)) + 128.0
+    v = (r - y) / (2.0 * (1.0 - _KR)) + 128.0
+    return Frame.from_planes(y, subsample_chroma(u), subsample_chroma(v))
+
+
+def yuv420_to_rgb(frame: Frame) -> np.ndarray:
+    """Convert a :class:`Frame` back to an ``(H, W, 3)`` uint8 RGB image."""
+    y = frame.y.astype(np.float64)
+    u = upsample_chroma(frame.u.astype(np.float64)) - 128.0
+    v = upsample_chroma(frame.v.astype(np.float64)) - 128.0
+    r = y + 2.0 * (1.0 - _KR) * v
+    b = y + 2.0 * (1.0 - _KB) * u
+    g = (y - _KR * r - _KB * b) / _KG
+    rgb = np.stack([r, g, b], axis=-1)
+    return np.clip(np.rint(rgb), 0, 255).astype(np.uint8)
+
+
+def subsample_chroma(plane: np.ndarray) -> np.ndarray:
+    """2x2 box-filter a full-resolution chroma plane down to 4:2:0.
+
+    Averaging each 2x2 pixel block is the textbook chroma-subsampling filter;
+    it is what makes 4:2:0 lossy even before quantization.
+    """
+    arr = np.asarray(plane, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError(f"chroma plane must be 2-D, got shape {arr.shape}")
+    height, width = arr.shape
+    if height % 2 or width % 2:
+        raise ValueError(f"chroma plane needs even dimensions, got {width}x{height}")
+    return arr.reshape(height // 2, 2, width // 2, 2).mean(axis=(1, 3))
+
+
+def upsample_chroma(plane: np.ndarray) -> np.ndarray:
+    """Nearest-neighbour upsample a 4:2:0 chroma plane to full resolution."""
+    arr = np.asarray(plane, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError(f"chroma plane must be 2-D, got shape {arr.shape}")
+    return np.repeat(np.repeat(arr, 2, axis=0), 2, axis=1)

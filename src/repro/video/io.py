@@ -1,0 +1,107 @@
+"""Raw video serialization in a Y4M-style container.
+
+The format mirrors YUV4MPEG2: a text header carrying geometry and frame
+rate, then one ``FRAME`` record per picture with the planar Y, U, V bytes.
+It exists so examples can persist synthesized clips and so the test suite
+can round-trip videos through disk.
+"""
+
+from __future__ import annotations
+
+import io
+from fractions import Fraction
+from pathlib import Path
+from typing import BinaryIO, Union
+
+import numpy as np
+
+from repro.video.frame import Frame
+from repro.video.video import Video
+
+__all__ = ["write_y4m", "read_y4m", "save_video", "load_video"]
+
+_MAGIC = b"YUV4MPEG2"
+
+
+def _fps_to_fraction(fps: float) -> Fraction:
+    """Represent an fps value exactly enough for a header (NTSC-aware)."""
+    frac = Fraction(fps).limit_denominator(1001)
+    if frac <= 0:
+        raise ValueError(f"fps must be positive, got {fps}")
+    return frac
+
+
+def write_y4m(video: Video, stream: BinaryIO) -> int:
+    """Write ``video`` to ``stream``; returns the number of bytes written."""
+    frac = _fps_to_fraction(video.fps)
+    header = (
+        f"{_MAGIC.decode()} W{video.width} H{video.height} "
+        f"F{frac.numerator}:{frac.denominator} Ip A1:1 C420\n"
+    ).encode()
+    written = stream.write(header)
+    for frame in video:
+        written += stream.write(b"FRAME\n")
+        for plane in frame.planes():
+            written += stream.write(plane.tobytes())
+    return written
+
+
+def read_y4m(stream: BinaryIO, name: str = "") -> Video:
+    """Parse a Y4M stream written by :func:`write_y4m`."""
+    header = stream.readline()
+    if not header.startswith(_MAGIC):
+        raise ValueError("not a YUV4MPEG2 stream")
+    width = height = 0
+    fps = 0.0
+    for token in header.split()[1:]:
+        tag, value = token[:1], token[1:]
+        if tag == b"W":
+            width = int(value)
+        elif tag == b"H":
+            height = int(value)
+        elif tag == b"F":
+            num, den = value.split(b":")
+            fps = int(num) / int(den)
+        elif tag == b"C" and value not in (b"420", b"420jpeg", b"420mpeg2"):
+            raise ValueError(f"unsupported chroma mode {value!r}")
+    if width <= 0 or height <= 0 or fps <= 0:
+        raise ValueError(f"malformed Y4M header: {header!r}")
+    y_size = width * height
+    c_size = (width // 2) * (height // 2)
+    frames = []
+    while True:
+        marker = stream.readline()
+        if not marker:
+            break
+        if not marker.startswith(b"FRAME"):
+            raise ValueError(f"expected FRAME record, got {marker!r}")
+        raw = stream.read(y_size + 2 * c_size)
+        if len(raw) != y_size + 2 * c_size:
+            raise ValueError("truncated frame payload")
+        y = np.frombuffer(raw, dtype=np.uint8, count=y_size).reshape(height, width)
+        u = np.frombuffer(raw, dtype=np.uint8, count=c_size, offset=y_size)
+        v = np.frombuffer(raw, dtype=np.uint8, count=c_size, offset=y_size + c_size)
+        frames.append(
+            Frame(
+                y.copy(),
+                u.reshape(height // 2, width // 2).copy(),
+                v.reshape(height // 2, width // 2).copy(),
+            )
+        )
+    if not frames:
+        raise ValueError("Y4M stream contains no frames")
+    return Video(frames, fps=fps, name=name)
+
+
+def save_video(video: Video, path: Union[str, Path]) -> int:
+    """Write ``video`` to ``path`` in Y4M format; returns bytes written."""
+    path = Path(path)
+    with path.open("wb") as handle:
+        return write_y4m(video, handle)
+
+
+def load_video(path: Union[str, Path]) -> Video:
+    """Read a Y4M file; the video is named after the file stem."""
+    path = Path(path)
+    with path.open("rb") as handle:
+        return read_y4m(io.BufferedReader(handle), name=path.stem)

@@ -1,0 +1,135 @@
+"""Bit I/O: packing, alignment, reader/writer round trips."""
+
+import numpy as np
+import pytest
+
+from repro.codec.entropy_coding.bitio import BitReader, BitWriter, pack_bits
+
+
+class TestPackBits:
+    def test_single_byte(self):
+        out = pack_bits(np.array([0b10110010]), np.array([8]))
+        assert out == bytes([0b10110010])
+
+    def test_msb_first_across_boundary(self):
+        out = pack_bits(np.array([0b1, 0b0101]), np.array([1, 4]))
+        # bits: 1 0101 -> 10101000 after zero padding
+        assert out == bytes([0b10101000])
+
+    def test_zero_length_entries(self):
+        out = pack_bits(np.array([5, 0, 3]), np.array([3, 0, 2]))
+        # 101 11 -> 10111000
+        assert out == bytes([0b10111000])
+
+    def test_empty(self):
+        assert pack_bits(np.array([], dtype=np.int64), np.array([], dtype=np.int64)) == b""
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.array([-1]), np.array([4]))
+
+    def test_rejects_bad_lengths(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.array([1]), np.array([70]))
+
+
+class TestBitWriter:
+    def test_write_and_length(self):
+        writer = BitWriter()
+        writer.write(1, 1)
+        writer.write(0b1010, 4)
+        assert writer.bit_length == 5
+        assert writer.getvalue() == bytes([0b11010000])
+
+    def test_write_rejects_overflow_value(self):
+        writer = BitWriter()
+        with pytest.raises(ValueError, match="does not fit"):
+            writer.write(8, 3)
+
+    def test_write_zero_bits_is_noop(self):
+        writer = BitWriter()
+        writer.write(0, 0)
+        assert writer.bit_length == 0
+
+    def test_write_array(self):
+        writer = BitWriter()
+        writer.write_array(np.array([3, 1]), np.array([2, 1]))
+        assert writer.bit_length == 3
+        assert writer.getvalue() == bytes([0b11100000])
+
+    def test_align(self):
+        writer = BitWriter()
+        writer.write(1, 3)
+        writer.align()
+        assert writer.bit_length == 8
+        writer.align()  # already aligned: no-op
+        assert writer.bit_length == 8
+
+    def test_write_bytes(self):
+        writer = BitWriter()
+        writer.write_bytes(b"\xab\xcd")
+        assert writer.getvalue() == b"\xab\xcd"
+
+    def test_write_bytes_unaligned(self):
+        writer = BitWriter()
+        writer.write(1, 4)
+        writer.write_bytes(b"\xff")
+        assert writer.bit_length == 12
+
+    def test_empty(self):
+        assert BitWriter().getvalue() == b""
+
+
+class TestBitReader:
+    def test_read_sequence(self):
+        reader = BitReader(bytes([0b10110100]))
+        assert reader.read(1) == 1
+        assert reader.read(3) == 0b011
+        assert reader.read(4) == 0b0100
+        assert reader.remaining == 0
+
+    def test_read_bit(self):
+        reader = BitReader(bytes([0b10000000]))
+        assert reader.read_bit() == 1
+        assert reader.read_bit() == 0
+
+    def test_eof(self):
+        reader = BitReader(b"\x00")
+        reader.read(8)
+        with pytest.raises(EOFError):
+            reader.read(1)
+
+    def test_count_zeros(self):
+        reader = BitReader(bytes([0b00010000]))
+        assert reader.count_zeros() == 3
+        assert reader.read_bit() == 1
+
+    def test_count_zeros_without_one(self):
+        reader = BitReader(b"\x00")
+        with pytest.raises(EOFError):
+            reader.count_zeros()
+
+    def test_align_and_read_bytes(self):
+        reader = BitReader(bytes([0b10100000, 0xAB, 0xCD]))
+        reader.read(3)
+        reader.align()
+        assert reader.position == 8
+        assert reader.read_bytes(2) == b"\xab\xcd"
+
+    def test_read_bytes_requires_alignment(self):
+        reader = BitReader(b"\xff\xff")
+        reader.read(3)
+        with pytest.raises(ValueError, match="alignment"):
+            reader.read_bytes(1)
+
+
+class TestRoundTrip:
+    def test_writer_reader(self, rng):
+        values = rng.integers(0, 2**16, size=200)
+        lengths = rng.integers(17, 20, size=200)
+        writer = BitWriter()
+        for v, n in zip(values.tolist(), lengths.tolist()):
+            writer.write(v, n)
+        reader = BitReader(writer.getvalue())
+        for v, n in zip(values.tolist(), lengths.tolist()):
+            assert reader.read(n) == v

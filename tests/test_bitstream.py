@@ -1,0 +1,69 @@
+"""Stream header serialization and validation."""
+
+import pytest
+
+from repro.codec.bitstream import StreamHeader, read_header, write_header
+from repro.codec.entropy_coding.bitio import BitReader, BitWriter
+
+
+def _header(**overrides):
+    base = dict(
+        width=112,
+        height=64,
+        fps_num=30,
+        fps_den=1,
+        n_frames=12,
+        transform_size=8,
+        entropy_coder="cavlc",
+        deblock=True,
+        flat_quant=True,
+        chroma_qp_offset=2,
+    )
+    base.update(overrides)
+    return StreamHeader(**base)
+
+
+class TestHeader:
+    def test_roundtrip(self):
+        header = _header()
+        writer = BitWriter()
+        write_header(writer, header)
+        assert read_header(BitReader(writer.getvalue())) == header
+
+    def test_roundtrip_all_flags(self):
+        header = _header(
+            transform_size=16,
+            entropy_coder="cabac",
+            deblock=False,
+            flat_quant=False,
+            chroma_qp_offset=-3,
+        )
+        writer = BitWriter()
+        write_header(writer, header)
+        assert read_header(BitReader(writer.getvalue())) == header
+
+    def test_fps_property(self):
+        assert _header(fps_num=30000, fps_den=1001).fps == pytest.approx(29.97, abs=0.01)
+
+    def test_bad_magic_rejected(self):
+        writer = BitWriter()
+        writer.write(0xDEADBEEF, 32)
+        writer.write(0, 32)
+        with pytest.raises(ValueError, match="magic"):
+            read_header(BitReader(writer.getvalue()))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"width": 0},
+            {"width": 70000},
+            {"height": 15},
+            {"fps_num": 0},
+            {"n_frames": 0},
+            {"transform_size": 12},
+            {"entropy_coder": "vlc"},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            _header(**kwargs)

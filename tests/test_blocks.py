@@ -1,0 +1,79 @@
+"""Block reshaping: raster order, inverses, validation."""
+
+import numpy as np
+import pytest
+
+from repro.codec.blocks import (
+    block_grid,
+    from_blocks,
+    merge_blocks,
+    split_blocks,
+    to_blocks,
+)
+
+
+class TestBlockGrid:
+    def test_counts(self):
+        assert block_grid(32, 48, 16) == (2, 3)
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            block_grid(30, 48, 16)
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            block_grid(32, 32, 0)
+
+
+class TestToFromBlocks:
+    def test_raster_order(self):
+        plane = np.arange(16 * 32).reshape(16, 32)
+        blocks = to_blocks(plane, 16)
+        assert blocks.shape == (2, 16, 16)
+        assert np.array_equal(blocks[0], plane[:16, :16])
+        assert np.array_equal(blocks[1], plane[:16, 16:])
+
+    def test_roundtrip(self, rng):
+        plane = rng.integers(0, 255, size=(48, 64))
+        assert np.array_equal(from_blocks(to_blocks(plane, 16), 48, 64), plane)
+
+    def test_from_blocks_validates_count(self):
+        with pytest.raises(ValueError, match="expected"):
+            from_blocks(np.zeros((3, 16, 16)), 32, 32)
+
+    def test_from_blocks_rejects_nonsquare(self):
+        with pytest.raises(ValueError, match="square"):
+            from_blocks(np.zeros((4, 16, 8)), 32, 32)
+
+
+class TestSplitMerge:
+    def test_split_shape(self):
+        blocks = np.zeros((3, 16, 16))
+        assert split_blocks(blocks, 8).shape == (12, 8, 8)
+
+    def test_split_ordering(self):
+        block = np.arange(256).reshape(1, 16, 16)
+        sub = split_blocks(block, 8)
+        assert np.array_equal(sub[0], block[0, :8, :8])
+        assert np.array_equal(sub[1], block[0, :8, 8:])
+        assert np.array_equal(sub[2], block[0, 8:, :8])
+
+    def test_roundtrip(self, rng):
+        blocks = rng.normal(size=(5, 16, 16))
+        assert np.allclose(merge_blocks(split_blocks(blocks, 8), 16), blocks)
+
+    def test_identity_split(self, rng):
+        blocks = rng.normal(size=(2, 8, 8))
+        assert np.array_equal(split_blocks(blocks, 8), blocks)
+
+    def test_split_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            split_blocks(np.zeros((1, 16, 16)), 5)
+
+    def test_merge_rejects_partial(self):
+        with pytest.raises(ValueError, match="whole number"):
+            merge_blocks(np.zeros((3, 8, 8)), 16)
+
+    def test_merge_rejects_nonsquare(self):
+        with pytest.raises(ValueError, match="square"):
+            merge_blocks(np.zeros((4, 8, 4)), 16)

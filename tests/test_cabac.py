@@ -1,0 +1,127 @@
+"""CABAC: engine round trips, adaptation benefit, block coding."""
+
+import numpy as np
+import pytest
+
+from repro.codec.entropy_coding.bitio import BitWriter
+from repro.codec.entropy_coding.cabac import CabacDecoder, CabacEncoder
+from repro.codec.entropy_coding.cavlc import encode_levels_cavlc
+
+
+class TestEngine:
+    def test_bit_roundtrip(self, rng):
+        bits = rng.integers(0, 2, size=500).tolist()
+        enc = CabacEncoder()
+        ctx = enc.contexts.sig
+        for b in bits:
+            enc.encode_bit(ctx, 0, b)
+        data = enc.flush()
+        dec = CabacDecoder(data)
+        assert [dec.decode_bit(dec.contexts.sig, 0) for _ in bits] == bits
+
+    def test_bypass_roundtrip(self, rng):
+        bits = rng.integers(0, 2, size=300).tolist()
+        enc = CabacEncoder()
+        for b in bits:
+            enc.encode_bypass(b)
+        dec = CabacDecoder(enc.flush())
+        assert [dec.decode_bypass() for _ in bits] == bits
+
+    def test_eg0_roundtrip(self):
+        values = [0, 1, 2, 7, 100, 9999]
+        enc = CabacEncoder()
+        for v in values:
+            enc.encode_bypass_eg0(v)
+        dec = CabacDecoder(enc.flush())
+        assert [dec.decode_bypass_eg0() for _ in values] == values
+
+    def test_eg0_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CabacEncoder().encode_bypass_eg0(-1)
+
+    def test_bin_counter(self):
+        enc = CabacEncoder()
+        enc.encode_bypass(1)
+        enc.encode_bit(enc.contexts.gt1, 0, 0)
+        assert enc.bins == 2
+
+    def test_skewed_stream_compresses(self, rng):
+        # 95% zeros: the adaptive coder should beat 1 bit/bin by a lot.
+        bits = (rng.random(4000) < 0.05).astype(int).tolist()
+        enc = CabacEncoder()
+        for b in bits:
+            enc.encode_bit(enc.contexts.sig, 0, b)
+        assert len(enc.flush()) * 8 < 0.5 * len(bits)
+
+
+class TestBlockCoding:
+    def _roundtrip(self, levels, chroma=False):
+        enc = CabacEncoder()
+        enc.encode_blocks(levels, chroma=chroma)
+        dec = CabacDecoder(enc.flush())
+        return dec.decode_blocks(levels.shape[0], levels.shape[1], chroma=chroma)
+
+    def test_zero_blocks(self):
+        levels = np.zeros((6, 8, 8), dtype=np.int32)
+        assert np.array_equal(self._roundtrip(levels), levels)
+
+    def test_random_sparse(self, rng):
+        levels = np.zeros((12, 8, 8), dtype=np.int32)
+        mask = rng.random((12, 8, 8)) < 0.08
+        levels[mask] = rng.choice([-5, -2, -1, 1, 2, 9], size=int(mask.sum()))
+        assert np.array_equal(self._roundtrip(levels), levels)
+
+    def test_last_position_significant(self):
+        levels = np.zeros((1, 8, 8), dtype=np.int32)
+        levels[0, 7, 7] = 2
+        assert np.array_equal(self._roundtrip(levels), levels)
+
+    def test_large_magnitudes(self):
+        levels = np.zeros((1, 8, 8), dtype=np.int32)
+        levels[0, 0, 0] = 1000
+        levels[0, 0, 1] = -1000
+        assert np.array_equal(self._roundtrip(levels), levels)
+
+    def test_16x16_blocks(self, rng):
+        levels = np.zeros((2, 16, 16), dtype=np.int32)
+        levels[0, 0, 0] = 7
+        levels[1, 3, 2] = -4
+        assert np.array_equal(self._roundtrip(levels), levels)
+
+    def test_luma_chroma_interleaved(self, rng):
+        luma = np.zeros((4, 8, 8), dtype=np.int32)
+        luma[:, 0, 0] = rng.integers(1, 10, size=4)
+        chroma = np.zeros((2, 8, 8), dtype=np.int32)
+        chroma[0, 1, 0] = -2
+        enc = CabacEncoder()
+        enc.encode_blocks(luma, chroma=False)
+        enc.encode_blocks(chroma, chroma=True)
+        dec = CabacDecoder(enc.flush())
+        assert np.array_equal(dec.decode_blocks(4, 8, chroma=False), luma)
+        assert np.array_equal(dec.decode_blocks(2, 8, chroma=True), chroma)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            CabacEncoder().encode_blocks(np.zeros((8, 8), dtype=np.int32))
+
+
+class TestCompressionAdvantage:
+    def test_beats_cavlc_on_typical_residuals(self, rng):
+        """CABAC's whole reason to exist: fewer bits on real-ish data."""
+        levels = np.zeros((150, 8, 8), dtype=np.int32)
+        # DCT-like statistics: low frequencies more likely significant.
+        for b in range(150):
+            n = rng.integers(0, 8)
+            for _ in range(n):
+                i = min(7, int(abs(rng.normal(0, 1.6))))
+                j = min(7, int(abs(rng.normal(0, 1.6))))
+                levels[b, i, j] = int(np.sign(rng.normal()) or 1) * max(
+                    1, int(abs(rng.normal(0, 2)))
+                )
+        writer = BitWriter()
+        encode_levels_cavlc(writer, levels)
+        cavlc_bits = writer.bit_length
+        enc = CabacEncoder()
+        enc.encode_blocks(levels)
+        cabac_bits = len(enc.flush()) * 8
+        assert cabac_bits < cavlc_bits

@@ -1,0 +1,103 @@
+"""CLI: every subcommand end to end through temp files."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def clip_path(tmp_path):
+    path = tmp_path / "clip.y4m"
+    assert main(["synth", str(path), "--content", "natural", "--size", "48x32",
+                 "--frames", "6", "--fps", "12", "--seed", "3"]) == 0
+    return path
+
+
+class TestSynth:
+    def test_creates_file(self, clip_path):
+        assert clip_path.exists()
+        assert clip_path.stat().st_size > 0
+
+    def test_reports_write(self, tmp_path, capsys):
+        path = tmp_path / "r.y4m"
+        assert main(["synth", str(path), "--size", "32x32", "--frames", "2"]) == 0
+        assert "wrote" in capsys.readouterr().out
+
+    def test_bad_size(self, tmp_path, capsys):
+        code = main(["synth", str(tmp_path / "x.y4m"), "--size", "nope"])
+        assert code == 2
+        assert "WxH" in capsys.readouterr().err
+
+    def test_unknown_content(self, tmp_path):
+        assert main(
+            ["synth", str(tmp_path / "x.y4m"), "--content", "fractal"]
+        ) == 2
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self, clip_path, tmp_path, capsys):
+        stream = tmp_path / "clip.rpv"
+        out = tmp_path / "out.y4m"
+        assert main(["encode", str(clip_path), str(stream), "--crf", "28"]) == 0
+        assert "PSNR" in capsys.readouterr().out
+        assert main(["decode", str(stream), str(out)]) == 0
+        from repro.video.io import load_video
+
+        original = load_video(clip_path)
+        decoded = load_video(out)
+        assert decoded.resolution == original.resolution
+        assert len(decoded) == len(original)
+
+    def test_bitrate_mode(self, clip_path, tmp_path):
+        stream = tmp_path / "clip.rpv"
+        assert main(
+            ["encode", str(clip_path), str(stream), "--bitrate", "50000",
+             "--two-pass"]
+        ) == 0
+
+    def test_two_pass_requires_bitrate(self, clip_path, tmp_path, capsys):
+        code = main(
+            ["encode", str(clip_path), str(tmp_path / "x.rpv"), "--two-pass"]
+        )
+        assert code == 2
+
+    def test_missing_input(self, tmp_path):
+        assert main(["encode", str(tmp_path / "nope.y4m"), "out.rpv"]) == 2
+
+    def test_decode_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.rpv"
+        bad.write_bytes(b"not a bitstream, definitely")
+        assert main(["decode", str(bad), str(tmp_path / "o.y4m")]) == 2
+
+
+class TestAnalysis:
+    def test_entropy(self, clip_path, capsys):
+        assert main(["entropy", str(clip_path)]) == 0
+        assert "bit/pixel/second" in capsys.readouterr().out
+
+    def test_analyze(self, clip_path, capsys):
+        assert main(["analyze", str(clip_path), "--preset", "veryfast"]) == 0
+        out = capsys.readouterr().out
+        assert "icache MPKI" in out
+        assert "scalar fraction" in out
+
+
+class TestSuiteCommands:
+    def test_suite(self, capsys):
+        assert main(["suite", "--profile", "tiny", "--k", "3", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") >= 4  # header + 3 rows
+
+    def test_run_scenario(self, capsys):
+        assert main(
+            ["run", "--profile", "tiny", "--k", "2", "--seed", "7",
+             "--scenario", "live", "--backend", "qsv"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "scenario=live" in out
+
+    def test_unknown_backend(self, capsys):
+        assert main(
+            ["run", "--profile", "tiny", "--k", "2", "--seed", "7",
+             "--scenario", "live", "--backend", "av9000"]
+        ) == 2

@@ -1,0 +1,89 @@
+"""Color conversion: RGB <-> YUV420 round trips and subsampling."""
+
+import numpy as np
+import pytest
+
+from repro.video.color import (
+    rgb_to_yuv420,
+    subsample_chroma,
+    upsample_chroma,
+    yuv420_to_rgb,
+)
+
+
+class TestRgbToYuv:
+    def test_grey_maps_to_neutral_chroma(self):
+        rgb = np.full((16, 16, 3), 120, dtype=np.uint8)
+        frame = rgb_to_yuv420(rgb)
+        assert np.all(frame.y == 120)
+        assert np.all(frame.u == 128)
+        assert np.all(frame.v == 128)
+
+    def test_red_has_high_v(self):
+        rgb = np.zeros((16, 16, 3), dtype=np.uint8)
+        rgb[..., 0] = 255
+        frame = rgb_to_yuv420(rgb)
+        assert frame.v.mean() > 200
+        assert frame.y.mean() == pytest.approx(255 * 0.299, abs=1)
+
+    def test_blue_has_high_u(self):
+        rgb = np.zeros((16, 16, 3), dtype=np.uint8)
+        rgb[..., 2] = 255
+        frame = rgb_to_yuv420(rgb)
+        assert frame.u.mean() > 200
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError, match="RGB"):
+            rgb_to_yuv420(np.zeros((16, 16)))
+
+    def test_rejects_odd_dimensions(self):
+        with pytest.raises(ValueError, match="even"):
+            rgb_to_yuv420(np.zeros((15, 16, 3)))
+
+
+class TestRoundTrip:
+    def test_smooth_image_roundtrip_close(self, rng):
+        # Smooth content survives 4:2:0 subsampling nearly losslessly.
+        base = rng.uniform(40, 200, size=(4, 4, 3))
+        rgb = np.clip(
+            np.kron(base, np.ones((8, 8, 1))), 0, 255
+        ).astype(np.uint8)
+        out = yuv420_to_rgb(rgb_to_yuv420(rgb))
+        assert np.max(np.abs(out.astype(int) - rgb.astype(int))) <= 3
+
+    def test_grey_roundtrip_exact(self):
+        rgb = np.full((8, 8, 3), 77, dtype=np.uint8)
+        out = yuv420_to_rgb(rgb_to_yuv420(rgb))
+        assert np.max(np.abs(out.astype(int) - 77)) <= 1
+
+    def test_output_dtype_and_shape(self):
+        rgb = np.zeros((8, 10, 3), dtype=np.uint8)
+        out = yuv420_to_rgb(rgb_to_yuv420(rgb))
+        assert out.shape == (8, 10, 3)
+        assert out.dtype == np.uint8
+
+
+class TestChromaResampling:
+    def test_subsample_averages_quads(self):
+        plane = np.array([[0, 4], [8, 12]], dtype=np.float64)
+        assert subsample_chroma(plane)[0, 0] == pytest.approx(6.0)
+
+    def test_subsample_shape(self):
+        assert subsample_chroma(np.zeros((8, 12))).shape == (4, 6)
+
+    def test_subsample_rejects_odd(self):
+        with pytest.raises(ValueError):
+            subsample_chroma(np.zeros((7, 8)))
+
+    def test_subsample_rejects_1d(self):
+        with pytest.raises(ValueError):
+            subsample_chroma(np.zeros(8))
+
+    def test_upsample_repeats(self):
+        up = upsample_chroma(np.array([[1.0, 2.0]]))
+        assert up.shape == (2, 4)
+        assert np.array_equal(up, [[1, 1, 2, 2], [1, 1, 2, 2]])
+
+    def test_up_down_identity_on_constant(self):
+        plane = np.full((4, 4), 9.0)
+        assert np.allclose(subsample_chroma(upsample_chroma(plane)), plane)

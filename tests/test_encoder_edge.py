@@ -1,0 +1,118 @@
+"""Encoder/decoder edge cases beyond the core invariants."""
+
+import numpy as np
+import pytest
+
+from repro.codec.decoder import decode
+from repro.codec.encoder import encode
+from repro.codec.presets import preset
+from repro.codec.types import FrameType
+from repro.metrics.psnr import psnr
+from repro.video.frame import Frame
+from repro.video.synthesis import synthesize
+from repro.video.video import Video
+
+
+class TestExtremeQuality:
+    def test_near_lossless(self, natural_video):
+        result = encode(natural_video, crf=0)
+        assert psnr(natural_video, result.recon) > 48.0
+        assert decode(result.bitstream) == result.recon
+
+    def test_maximum_qp(self, natural_video):
+        result = encode(natural_video, crf=51)
+        assert decode(result.bitstream) == result.recon
+        # Still recognizable video, just coarse.
+        assert psnr(natural_video, result.recon) > 15.0
+
+    def test_quality_monotone_over_crf(self, natural_video):
+        qualities = [
+            psnr(natural_video, encode(natural_video, crf=crf).recon)
+            for crf in (10, 25, 40)
+        ]
+        assert qualities[0] > qualities[1] > qualities[2]
+
+
+class TestDegenerateGeometry:
+    def test_single_macroblock_frame(self):
+        video = synthesize("natural", 16, 16, 4, 10.0, seed=1)
+        result = encode(video, crf=28)
+        assert decode(result.bitstream) == result.recon
+
+    def test_one_mb_wide_strip(self):
+        video = synthesize("natural", 16, 64, 4, 10.0, seed=1)
+        result = encode(video, crf=28)
+        assert decode(result.bitstream) == result.recon
+
+    def test_uniform_grey_video(self):
+        frames = [Frame.blank(32, 32, luma=128)] * 4
+        video = Video(frames, fps=10)
+        result = encode(video, crf=20)
+        assert decode(result.bitstream) == result.recon
+        assert psnr(video, result.recon) > 45.0
+
+    def test_extreme_luma_values(self):
+        black = Frame.blank(32, 32, luma=0, chroma=0)
+        white = Frame.blank(32, 32, luma=255, chroma=255)
+        video = Video([black, white, black], fps=10)
+        result = encode(video, crf=20)
+        assert decode(result.bitstream) == result.recon
+
+
+class TestFrameTypePolicies:
+    def test_keyint_one_is_all_intra(self, natural_video):
+        cfg = preset("veryfast").derived(keyint=1)
+        result = encode(natural_video, config=cfg, crf=28)
+        assert all(s.frame_type is FrameType.I for s in result.stats)
+        assert decode(result.bitstream) == result.recon
+
+    def test_all_intra_costs_more(self, natural_video):
+        intra = encode(
+            natural_video, config=preset("veryfast").derived(keyint=1), crf=28
+        )
+        normal = encode(natural_video, config="veryfast", crf=28)
+        assert intra.total_bits > normal.total_bits
+
+    def test_scene_cut_threshold_respected(self, sports_video):
+        # Absurdly high threshold: no cuts after the opening I frame.
+        cfg = preset("veryfast").derived(scene_cut=1e9)
+        result = encode(sports_video, config=cfg, crf=30)
+        assert result.keyframes == 1
+
+
+class TestNominalResolutionFlow:
+    def test_transcode_result_keeps_nominal(self):
+        from repro.encoders import RateSpec, X264Transcoder
+
+        clip = synthesize("natural", 48, 32, 4, 12.0, seed=2).with_nominal_resolution(
+            1920, 1080
+        )
+        result = X264Transcoder("veryfast").transcode(clip, RateSpec.for_crf(30))
+        assert result.output.nominal_resolution == (1920, 1080)
+
+    def test_hardware_speed_uses_nominal(self):
+        from repro.encoders import NvencTranscoder
+
+        clip = synthesize("natural", 48, 32, 4, 12.0, seed=2)
+        hw = NvencTranscoder()
+        plain = hw.modeled_seconds(clip)
+        promoted = hw.modeled_seconds(clip.with_nominal_resolution(3840, 2160))
+        # Full-scale overhead amortizes: the 4K stand-in is faster/pixel.
+        assert promoted < plain
+
+
+class TestBitstreamCompactness:
+    def test_stream_smaller_than_raw(self, natural_video):
+        result = encode(natural_video, crf=23)
+        raw_bytes = natural_video.pixels * 3 // 2
+        assert len(result.bitstream) < raw_bytes / 3
+
+    def test_deterministic_encode(self, natural_video):
+        a = encode(natural_video, config="medium", crf=28)
+        b = encode(natural_video, config="medium", crf=28)
+        assert a.bitstream == b.bitstream
+
+    def test_streams_differ_across_presets(self, natural_video):
+        a = encode(natural_video, config="veryfast", crf=28)
+        b = encode(natural_video, config="veryslow", crf=28)
+        assert a.bitstream != b.bitstream

@@ -1,0 +1,83 @@
+"""Exp-Golomb codes: lengths, mappings, scalar/vector agreement."""
+
+import numpy as np
+import pytest
+
+from repro.codec.entropy_coding.bitio import BitReader, BitWriter
+from repro.codec.entropy_coding.expgolomb import (
+    read_se,
+    read_ue,
+    se_code,
+    se_codes,
+    signed_to_unsigned,
+    ue_code,
+    ue_codes,
+    unsigned_to_signed,
+    write_se,
+    write_ue,
+)
+
+
+class TestUe:
+    @pytest.mark.parametrize(
+        "value,nbits", [(0, 1), (1, 3), (2, 3), (3, 5), (6, 5), (7, 7), (254, 15)]
+    )
+    def test_known_lengths(self, value, nbits):
+        assert ue_code(value)[1] == nbits
+
+    def test_zero_is_single_one_bit(self):
+        assert ue_code(0) == (1, 1)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ue_code(-1)
+
+    def test_vectorized_matches_scalar(self):
+        values = np.arange(0, 300)
+        codes, lengths = ue_codes(values)
+        for i, v in enumerate(values.tolist()):
+            assert (codes[i], lengths[i]) == ue_code(v)
+
+
+class TestSignedMapping:
+    def test_mapping_order(self):
+        # 0 -> 0, 1 -> 1, -1 -> 2, 2 -> 3, -2 -> 4 ...
+        assert [signed_to_unsigned(v) for v in (0, 1, -1, 2, -2)] == [0, 1, 2, 3, 4]
+
+    def test_inverse(self):
+        for v in range(-20, 21):
+            assert unsigned_to_signed(signed_to_unsigned(v)) == v
+
+    def test_vectorized_matches_scalar(self):
+        values = np.arange(-50, 51)
+        codes, lengths = se_codes(values)
+        for i, v in enumerate(values.tolist()):
+            assert (codes[i], lengths[i]) == se_code(v)
+
+
+class TestStreamRoundTrip:
+    def test_ue_roundtrip(self):
+        writer = BitWriter()
+        values = [0, 1, 5, 17, 255, 1000]
+        for v in values:
+            write_ue(writer, v)
+        reader = BitReader(writer.getvalue())
+        assert [read_ue(reader) for _ in values] == values
+
+    def test_se_roundtrip(self):
+        writer = BitWriter()
+        values = [0, -1, 1, -9, 42, -1000]
+        for v in values:
+            write_se(writer, v)
+        reader = BitReader(writer.getvalue())
+        assert [read_se(reader) for _ in values] == values
+
+    def test_interleaved(self):
+        writer = BitWriter()
+        write_ue(writer, 7)
+        write_se(writer, -3)
+        write_ue(writer, 0)
+        reader = BitReader(writer.getvalue())
+        assert read_ue(reader) == 7
+        assert read_se(reader) == -3
+        assert read_ue(reader) == 0

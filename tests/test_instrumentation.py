@@ -1,0 +1,117 @@
+"""Counters and trace recorder."""
+
+import numpy as np
+import pytest
+
+from repro.codec.instrumentation import (
+    KERNELS,
+    Counters,
+    TraceRecorder,
+    kernel_id,
+)
+
+
+class TestCounters:
+    def test_add_and_get(self):
+        counters = Counters()
+        counters.add("sad", 10)
+        counters.add("sad", 5)
+        assert counters.get("sad") == 15
+        assert counters.get("dct") == 0
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            Counters().add("fft", 1)
+
+    def test_merge(self):
+        a, b = Counters(), Counters()
+        a.add("sad", 1)
+        b.add("sad", 2)
+        b.add("dct", 3)
+        a.merge(b)
+        assert a.get("sad") == 3
+        assert a.get("dct") == 3
+
+    def test_total(self):
+        counters = Counters()
+        counters.add("sad", 2)
+        counters.add("dct", 3)
+        assert counters.total() == 5
+
+    def test_as_dict_is_copy(self):
+        counters = Counters()
+        counters.add("sad", 1)
+        counters.as_dict()["sad"] = 99
+        assert counters.get("sad") == 1
+
+    def test_equality(self):
+        a, b = Counters(), Counters()
+        a.add("sad", 1)
+        b.add("sad", 1)
+        assert a == b
+
+    def test_repr(self):
+        counters = Counters()
+        counters.add("sad", 2)
+        assert "sad" in repr(counters)
+
+
+class TestKernelId:
+    def test_stable_ids(self):
+        assert kernel_id(KERNELS[0]) == 0
+        assert kernel_id(KERNELS[-1]) == len(KERNELS) - 1
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            kernel_id("warp")
+
+
+class TestTraceRecorder:
+    def test_empty_views(self):
+        trace = TraceRecorder()
+        assert trace.kernels().size == 0
+        ctx, out = trace.branch_events()
+        assert ctx.size == 0 and out.size == 0
+        assert trace.memory_accesses().size == 0
+
+    def test_concatenation(self):
+        trace = TraceRecorder()
+        trace.record_kernels(np.array([1, 2]))
+        trace.record_kernels(np.array([3]))
+        assert trace.kernels().tolist() == [1, 2, 3]
+
+    def test_branch_shape_mismatch(self):
+        trace = TraceRecorder()
+        with pytest.raises(ValueError):
+            trace.record_branches(np.array([1, 2]), np.array([1]))
+
+    def test_memory(self):
+        trace = TraceRecorder()
+        trace.record_memory(np.array([64, 128]))
+        trace.record_memory(np.array([192]))
+        assert trace.memory_accesses().tolist() == [64, 128, 192]
+
+
+class TestEncoderIntegration:
+    def test_trace_populated_by_encode(self, natural_video):
+        from repro.codec.encoder import Encoder
+        from repro.codec.ratecontrol import RateControl
+
+        trace = TraceRecorder()
+        Encoder("veryfast", trace=trace).encode(natural_video, RateControl.crf(30))
+        assert trace.kernels().size > 0
+        ctx, out = trace.branch_events()
+        assert ctx.size == out.size > 0
+        assert trace.memory_accesses().size > 0
+        # All kernel ids valid.
+        assert trace.kernels().max() < len(KERNELS)
+
+    def test_sampling_reduces_events(self, natural_video):
+        from repro.codec.encoder import Encoder
+        from repro.codec.ratecontrol import RateControl
+
+        full = TraceRecorder(sample_stride=1)
+        sampled = TraceRecorder(sample_stride=4)
+        Encoder("veryfast", trace=full).encode(natural_video, RateControl.crf(30))
+        Encoder("veryfast", trace=sampled).encode(natural_video, RateControl.crf(30))
+        assert sampled.kernels().size < full.kernels().size

@@ -1,0 +1,86 @@
+"""End-to-end integration: the whole benchmark on a miniature suite.
+
+These tests run the same code paths as the paper-reproduction benchmarks
+(suite construction through scenario scoring) at the smallest viable
+scale, asserting the qualitative results the paper reports.
+"""
+
+import pytest
+
+from repro import Scenario, run_scenario, vbench_suite
+from repro.core.benchmark import BenchmarkSuite
+
+
+@pytest.fixture(scope="module")
+def mini_suite():
+    suite = vbench_suite(profile="tiny", k=6, seed=2017)
+    return suite
+
+
+class TestSuiteConstruction:
+    def test_suite_has_six_videos(self, mini_suite):
+        assert len(mini_suite) == 6
+        assert len(set(mini_suite.names())) == 6
+
+    def test_entropy_span(self, mini_suite):
+        entropies = [v.entropy for v in mini_suite]
+        assert max(entropies) / min(entropies) > 10
+
+
+class TestVodScenario:
+    """Section 5.3 / Table 3 qualitative outcomes."""
+
+    @pytest.fixture(scope="class")
+    def report(self, mini_suite):
+        return run_scenario(mini_suite, Scenario.VOD, "qsv", bisect_iterations=6)
+
+    def test_hardware_is_faster(self, report):
+        assert all(s.ratios.speed > 1.5 for s in report.scores)
+
+    def test_hardware_needs_more_bits(self, report):
+        """B <= ~1: the fixed-function toolset pays in bitrate."""
+        bs = [s.ratios.bitrate for s in report.scores]
+        assert sum(bs) / len(bs) < 1.1
+
+    def test_most_videos_produce_valid_scores(self, report):
+        assert len(report.valid_scores()) >= len(report.scores) // 2
+
+
+class TestLiveScenario:
+    """Section 6.1: GPUs win Live with no quality sacrifice."""
+
+    @pytest.fixture(scope="class")
+    def report(self, mini_suite):
+        return run_scenario(mini_suite, Scenario.LIVE, "nvenc")
+
+    def test_realtime_met_everywhere(self, report):
+        assert all(s.constraint_met for s in report.scores)
+
+    def test_quality_holds(self, report):
+        assert all(s.ratios.quality > 0.97 for s in report.scores)
+
+
+class TestPopularScenario:
+    """Section 6.2: hardware cannot play; newer software can."""
+
+    def test_hardware_produces_no_valid_transcodes(self, mini_suite):
+        report = run_scenario(
+            mini_suite, Scenario.POPULAR, "nvenc", bisect_iterations=5
+        )
+        assert len(report.valid_scores()) <= 1
+
+    def test_newer_software_scores(self, mini_suite):
+        report = run_scenario(
+            mini_suite, Scenario.POPULAR, "x265", bisect_iterations=6
+        )
+        valid = report.valid_scores()
+        assert valid, "x265-class encoder should produce valid Popular scores"
+        assert all(v >= 0.99 for v in valid)
+
+
+class TestUploadScenario:
+    def test_fast_preset_scores_on_upload(self, mini_suite):
+        report = run_scenario(mini_suite, Scenario.UPLOAD, "x264:ultrafast")
+        assert all(s.constraint_met for s in report.scores)
+        # Faster preset, roughly preserved quality -> scores above 1.
+        assert sum(report.valid_scores()) / len(report.scores) > 1.0

@@ -1,0 +1,86 @@
+"""Weighted k-means: convergence, weighting semantics, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.kmeans import weighted_kmeans
+
+
+def _three_clusters(rng, n=60):
+    centers = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+    points = np.concatenate(
+        [center + rng.normal(0, 0.5, size=(n // 3, 2)) for center in centers]
+    )
+    return points, centers
+
+
+class TestClustering:
+    def test_recovers_separated_clusters(self, rng):
+        points, centers = _three_clusters(rng)
+        result = weighted_kmeans(points, np.ones(len(points)), k=3, seed=1)
+        found = sorted(result.centroids.tolist())
+        expected = sorted(centers.tolist())
+        for f, e in zip(found, expected):
+            assert np.allclose(f, e, atol=0.5)
+
+    def test_assignments_match_nearest_centroid(self, rng):
+        points, _ = _three_clusters(rng)
+        result = weighted_kmeans(points, np.ones(len(points)), k=3, seed=1)
+        dists = np.linalg.norm(
+            points[:, None, :] - result.centroids[None], axis=2
+        )
+        assert np.array_equal(result.assignments, np.argmin(dists, axis=1))
+
+    def test_deterministic(self, rng):
+        points, _ = _three_clusters(rng)
+        weights = np.ones(len(points))
+        a = weighted_kmeans(points, weights, k=3, seed=42)
+        b = weighted_kmeans(points, weights, k=3, seed=42)
+        assert np.array_equal(a.assignments, b.assignments)
+
+    def test_k_equals_n(self, rng):
+        points = rng.normal(size=(5, 2))
+        result = weighted_kmeans(points, np.ones(5), k=5, seed=0)
+        assert result.inertia == pytest.approx(0.0, abs=1e-12)
+
+    def test_k_one_is_weighted_mean(self):
+        points = np.array([[0.0], [10.0]])
+        weights = np.array([3.0, 1.0])
+        result = weighted_kmeans(points, weights, k=1, seed=0)
+        assert result.centroids[0, 0] == pytest.approx(2.5)
+
+
+class TestWeighting:
+    def test_heavy_points_pull_centroids(self):
+        points = np.array([[0.0], [1.0], [9.0], [10.0]])
+        light = weighted_kmeans(points, np.array([1, 1, 1, 1.0]), k=1, seed=0)
+        heavy = weighted_kmeans(points, np.array([100, 100, 1, 1.0]), k=1, seed=0)
+        assert heavy.centroids[0, 0] < light.centroids[0, 0]
+
+    def test_zero_weight_points_still_assigned(self, rng):
+        points, _ = _three_clusters(rng)
+        weights = np.ones(len(points))
+        weights[0] = 0.0
+        result = weighted_kmeans(points, weights, k=3, seed=1)
+        assert result.assignments.shape == (len(points),)
+
+
+class TestValidation:
+    def test_bad_shapes(self):
+        with pytest.raises(ValueError):
+            weighted_kmeans(np.zeros(5), np.ones(5), k=2)
+        with pytest.raises(ValueError):
+            weighted_kmeans(np.zeros((5, 2)), np.ones(4), k=2)
+
+    def test_bad_weights(self):
+        with pytest.raises(ValueError):
+            weighted_kmeans(np.zeros((5, 2)), -np.ones(5), k=2)
+        with pytest.raises(ValueError):
+            weighted_kmeans(np.zeros((5, 2)), np.zeros(5), k=2)
+
+    def test_bad_k(self):
+        points = np.zeros((5, 2))
+        with pytest.raises(ValueError):
+            weighted_kmeans(points, np.ones(5), k=0)
+        with pytest.raises(ValueError):
+            weighted_kmeans(points, np.ones(5), k=6)

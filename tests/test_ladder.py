@@ -1,0 +1,50 @@
+"""Per-title bitrate ladders."""
+
+import pytest
+
+from repro.pipeline.ladder import DEFAULT_QUALITY_TARGETS, LadderRung, build_ladder
+from repro.video.synthesis import synthesize
+
+
+@pytest.fixture(scope="module")
+def title():
+    return synthesize("natural", 64, 48, 8, 12.0, seed=17, name="title")
+
+
+class TestBuildLadder:
+    def test_rungs_cover_targets(self, title):
+        ladder = build_ladder(title, quality_targets=(32.0, 38.0), iterations=5)
+        assert [r.target_db for r in ladder] == [32.0, 38.0]
+
+    def test_bitrate_monotone_when_reached(self, title):
+        ladder = build_ladder(title, quality_targets=(32.0, 38.0, 43.0), iterations=6)
+        reached = [r for r in ladder if r.reached]
+        rates = [r.bitrate_bps for r in reached]
+        assert rates == sorted(rates)
+
+    def test_quality_rungs_achieved(self, title):
+        ladder = build_ladder(title, quality_targets=(32.0, 38.0), iterations=6)
+        for rung in ladder:
+            assert rung.reached
+            assert rung.achieved_db >= rung.target_db - 0.1
+
+    def test_harder_content_needs_more_bits(self):
+        easy = synthesize("screencast", 64, 48, 8, 12.0, seed=3, name="easy")
+        hard = synthesize("sports", 64, 48, 8, 12.0, seed=3, name="hard")
+        rung_easy = build_ladder(easy, quality_targets=(36.0,), iterations=6)[0]
+        rung_hard = build_ladder(hard, quality_targets=(36.0,), iterations=6)[0]
+        assert rung_hard.bitrate_bps > rung_easy.bitrate_bps
+
+    def test_validation(self, title):
+        with pytest.raises(ValueError):
+            build_ladder(title, quality_targets=())
+        with pytest.raises(ValueError):
+            build_ladder(title, quality_targets=(40.0, 35.0))
+
+    def test_default_targets_ascending(self):
+        assert list(DEFAULT_QUALITY_TARGETS) == sorted(DEFAULT_QUALITY_TARGETS)
+
+    def test_rung_dataclass(self):
+        rung = LadderRung(36.0, 1e5, 36.5, 1000)
+        assert rung.reached
+        assert not LadderRung(36.0, 1e5, 30.0, 1000).reached

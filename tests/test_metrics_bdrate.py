@@ -1,0 +1,67 @@
+"""Bjontegaard delta metrics over synthetic RD curves."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.bdrate import bd_psnr, bd_rate
+
+
+def _rd_curve(scale: float, points=(0.5, 1.0, 2.0, 4.0, 8.0)):
+    """A plausible RD curve: quality grows with log bitrate."""
+    rates = [p * scale for p in points]
+    psnrs = [30 + 5 * np.log2(p) for p in points]
+    return rates, psnrs
+
+
+class TestBdRate:
+    def test_identical_curves_are_zero(self):
+        rates, psnrs = _rd_curve(1.0)
+        assert bd_rate(rates, psnrs, rates, psnrs) == pytest.approx(0.0, abs=1e-6)
+
+    def test_half_rate_curve_is_minus_fifty(self):
+        anchor_r, anchor_q = _rd_curve(1.0)
+        test_r, test_q = _rd_curve(0.5)
+        assert bd_rate(anchor_r, anchor_q, test_r, test_q) == pytest.approx(
+            -50.0, abs=0.5
+        )
+
+    def test_double_rate_curve_is_plus_hundred(self):
+        anchor_r, anchor_q = _rd_curve(1.0)
+        test_r, test_q = _rd_curve(2.0)
+        assert bd_rate(anchor_r, anchor_q, test_r, test_q) == pytest.approx(
+            100.0, abs=1.0
+        )
+
+    def test_needs_four_points(self):
+        with pytest.raises(ValueError, match="4 RD points"):
+            bd_rate([1, 2, 3], [30, 33, 36], [1, 2, 3], [30, 33, 36])
+
+    def test_rejects_nonpositive_rates(self):
+        with pytest.raises(ValueError, match="positive"):
+            bd_rate([0, 1, 2, 3], [30, 31, 32, 33], [1, 2, 3, 4], [30, 31, 32, 33])
+
+    def test_rejects_disjoint_quality_ranges(self):
+        with pytest.raises(ValueError, match="overlap"):
+            bd_rate(
+                [1, 2, 4, 8], [10, 11, 12, 13],
+                [1, 2, 4, 8], [40, 41, 42, 43],
+            )
+
+
+class TestBdPsnr:
+    def test_identical_is_zero(self):
+        rates, psnrs = _rd_curve(1.0)
+        assert bd_psnr(rates, psnrs, rates, psnrs) == pytest.approx(0.0, abs=1e-9)
+
+    def test_better_curve_positive(self):
+        anchor_r, anchor_q = _rd_curve(1.0)
+        test_q = [q + 2.0 for q in anchor_q]
+        gain = bd_psnr(anchor_r, anchor_q, anchor_r, test_q)
+        assert gain == pytest.approx(2.0, abs=0.05)
+
+    def test_rejects_disjoint_rate_ranges(self):
+        with pytest.raises(ValueError, match="overlap"):
+            bd_psnr(
+                [1, 2, 4, 8], [30, 33, 36, 39],
+                [100, 200, 400, 800], [30, 33, 36, 39],
+            )

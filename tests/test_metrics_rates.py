@@ -1,0 +1,50 @@
+"""Bitrate and speed normalizations (Section 2.3 units)."""
+
+import pytest
+
+from repro.metrics.bitrate import bitrate_bps, bits_per_pixel_second
+from repro.metrics.speed import megapixels_per_second, pixels_per_second
+
+
+class TestBitrate:
+    def test_bits_per_second(self):
+        assert bitrate_bps(1000, 2.0) == pytest.approx(4000.0)
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(ValueError):
+            bitrate_bps(-1, 1.0)
+
+    def test_rejects_zero_duration(self):
+        with pytest.raises(ValueError):
+            bitrate_bps(100, 0.0)
+
+    def test_normalized_bitrate(self):
+        # 1 MB over 4 seconds = 2 Mb/s; at 1 Mpixel frames -> 2 bit/px/s.
+        value = bits_per_pixel_second(1_000_000, 4.0, 1_000_000)
+        assert value == pytest.approx(2.0)
+
+    def test_normalized_is_resolution_comparable(self):
+        # Same bit/pixel/s at different resolutions when bytes scale.
+        small = bits_per_pixel_second(10_000, 1.0, 100_000)
+        large = bits_per_pixel_second(80_000, 1.0, 800_000)
+        assert small == pytest.approx(large)
+
+    def test_rejects_zero_pixels(self):
+        with pytest.raises(ValueError):
+            bits_per_pixel_second(100, 1.0, 0)
+
+
+class TestSpeed:
+    def test_pixels_per_second(self):
+        assert pixels_per_second(100, 4.0) == pytest.approx(25.0)
+
+    def test_megapixels(self):
+        assert megapixels_per_second(2_000_000, 1.0) == pytest.approx(2.0)
+
+    def test_rejects_zero_time(self):
+        with pytest.raises(ValueError):
+            pixels_per_second(100, 0.0)
+
+    def test_rejects_zero_pixels(self):
+        with pytest.raises(ValueError):
+            pixels_per_second(0, 1.0)

@@ -1,0 +1,57 @@
+"""SSIM: bounds, identity, sensitivity ordering."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.ssim import ssim, ssim_video
+from repro.video.frame import Frame
+from repro.video.video import Video
+
+
+class TestSsim:
+    def test_identity_is_one(self, rng):
+        plane = rng.integers(0, 256, size=(32, 32)).astype(np.uint8)
+        assert ssim(plane, plane) == pytest.approx(1.0)
+
+    def test_bounded(self, rng):
+        a = rng.integers(0, 256, size=(32, 32)).astype(np.uint8)
+        b = rng.integers(0, 256, size=(32, 32)).astype(np.uint8)
+        value = ssim(a, b)
+        assert -1.0 <= value <= 1.0
+
+    def test_noise_lowers_score(self, rng):
+        base = np.clip(
+            np.cumsum(rng.normal(0, 4, size=(32, 32)), axis=1) + 128, 0, 255
+        ).astype(np.uint8)
+        mild = np.clip(base + rng.normal(0, 2, size=(32, 32)), 0, 255).astype(np.uint8)
+        harsh = np.clip(base + rng.normal(0, 25, size=(32, 32)), 0, 255).astype(np.uint8)
+        assert ssim(base, mild) > ssim(base, harsh)
+
+    def test_structural_change_hurts_more_than_brightness(self, checker_frame):
+        base = checker_frame.y
+        brighter = np.clip(base.astype(int) + 12, 0, 255).astype(np.uint8)
+        inverted = (255 - base.astype(int)).astype(np.uint8)
+        assert ssim(base, brighter) > ssim(base, inverted)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            ssim(np.zeros((8, 8)), np.zeros((8, 9)))
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            ssim(np.zeros(64), np.zeros(64))
+
+
+class TestSsimVideo:
+    def test_identity(self, natural_video):
+        assert ssim_video(natural_video, natural_video) == pytest.approx(1.0)
+
+    def test_count_mismatch(self, natural_video):
+        with pytest.raises(ValueError):
+            ssim_video(natural_video, natural_video[:-1])
+
+    def test_resolution_mismatch(self):
+        a = Video([Frame.blank(16, 16)], fps=10)
+        b = Video([Frame.blank(32, 16)], fps=10)
+        with pytest.raises(ValueError):
+            ssim_video(a, b)

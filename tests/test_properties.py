@@ -1,0 +1,212 @@
+"""Property-based tests (hypothesis) on the core data structures.
+
+These cover the invariants the whole system leans on: entropy coders are
+bijections, transforms invert, quantization error is bounded, block
+reshaping permutes without loss, and k-means always produces a valid
+partition.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.codec.blocks import from_blocks, merge_blocks, split_blocks, to_blocks
+from repro.codec.entropy_coding.bitio import BitReader, BitWriter, pack_bits
+from repro.codec.entropy_coding.cabac import CabacDecoder, CabacEncoder
+from repro.codec.entropy_coding.cavlc import decode_levels_cavlc, encode_levels_cavlc
+from repro.codec.entropy_coding.expgolomb import (
+    read_se,
+    read_ue,
+    signed_to_unsigned,
+    unsigned_to_signed,
+    write_se,
+    write_ue,
+)
+from repro.codec.quant import dequantize, qp_to_qstep, quantize
+from repro.codec.transform import forward_dct, inverse_dct, zigzag_order
+from repro.corpus.kmeans import weighted_kmeans
+
+settings.register_profile("repro", deadline=None, max_examples=60)
+settings.load_profile("repro")
+
+
+class TestBitIoProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 2**20 - 1), st.integers(20, 24)),
+            min_size=0,
+            max_size=100,
+        )
+    )
+    def test_writer_reader_roundtrip(self, pairs):
+        writer = BitWriter()
+        for value, nbits in pairs:
+            writer.write(value, nbits)
+        reader = BitReader(writer.getvalue())
+        for value, nbits in pairs:
+            assert reader.read(nbits) == value
+
+    @given(st.lists(st.integers(0, 1 << 30), min_size=1, max_size=50))
+    def test_pack_length(self, values):
+        lengths = [max(1, v.bit_length()) for v in values]
+        packed = pack_bits(np.array(values), np.array(lengths))
+        assert len(packed) == -(-sum(lengths) // 8)
+
+
+class TestExpGolombProperties:
+    @given(st.lists(st.integers(0, 10**6), max_size=60))
+    def test_ue_roundtrip(self, values):
+        writer = BitWriter()
+        for v in values:
+            write_ue(writer, v)
+        reader = BitReader(writer.getvalue())
+        assert [read_ue(reader) for _ in values] == values
+
+    @given(st.lists(st.integers(-(10**6), 10**6), max_size=60))
+    def test_se_roundtrip(self, values):
+        writer = BitWriter()
+        for v in values:
+            write_se(writer, v)
+        reader = BitReader(writer.getvalue())
+        assert [read_se(reader) for _ in values] == values
+
+    @given(st.integers(-(10**9), 10**9))
+    def test_signed_mapping_bijective(self, v):
+        assert unsigned_to_signed(signed_to_unsigned(v)) == v
+
+
+def _levels_strategy(size):
+    return hnp.arrays(
+        dtype=np.int32,
+        shape=st.tuples(st.integers(0, 6), st.just(size), st.just(size)),
+        elements=st.integers(-200, 200),
+    )
+
+
+class TestEntropyCoderProperties:
+    @given(_levels_strategy(8))
+    def test_cavlc_bijection(self, levels):
+        writer = BitWriter()
+        encode_levels_cavlc(writer, levels)
+        reader = BitReader(writer.getvalue())
+        out = decode_levels_cavlc(reader, levels.shape[0], 8)
+        assert np.array_equal(out, levels)
+
+    @given(_levels_strategy(8))
+    def test_cabac_bijection(self, levels):
+        enc = CabacEncoder()
+        enc.encode_blocks(levels)
+        dec = CabacDecoder(enc.flush())
+        assert np.array_equal(dec.decode_blocks(levels.shape[0], 8), levels)
+
+
+class TestTransformProperties:
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(1, 5), st.just(8), st.just(8)),
+            elements=st.floats(-255, 255, allow_nan=False),
+        )
+    )
+    def test_dct_inverts(self, blocks):
+        assert np.allclose(inverse_dct(forward_dct(blocks)), blocks, atol=1e-8)
+
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(1, 4), st.just(8), st.just(8)),
+            elements=st.floats(-255, 255, allow_nan=False),
+        ),
+        st.integers(0, 51),
+    )
+    def test_quantization_error_bounded(self, coeffs, qp):
+        levels = quantize(coeffs, qp, flat=True)
+        recon = dequantize(levels, qp, flat=True)
+        assert np.max(np.abs(recon - coeffs)) <= qp_to_qstep(qp) + 1e-9
+
+    @given(st.sampled_from([4, 8, 16]))
+    def test_zigzag_permutation(self, size):
+        order = zigzag_order(size)
+        assert sorted(order.tolist()) == list(range(size * size))
+
+
+class TestBlockProperties:
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.sampled_from([(16, 16), (32, 48), (16, 64)]),
+            elements=st.floats(0, 255, allow_nan=False),
+        )
+    )
+    def test_to_from_blocks_identity(self, plane):
+        blocks = to_blocks(plane, 16)
+        assert np.array_equal(from_blocks(blocks, *plane.shape), plane)
+
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(1, 4), st.just(16), st.just(16)),
+            elements=st.floats(0, 255, allow_nan=False),
+        )
+    )
+    def test_split_merge_identity(self, blocks):
+        assert np.array_equal(merge_blocks(split_blocks(blocks, 8), 16), blocks)
+
+
+class TestKMeansProperties:
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(4, 20), st.just(2)),
+            elements=st.floats(-10, 10, allow_nan=False),
+        ),
+        st.integers(1, 4),
+    )
+    def test_partition_is_valid(self, points, k):
+        k = min(k, points.shape[0])
+        weights = np.ones(points.shape[0])
+        result = weighted_kmeans(points, weights, k=k, seed=0, restarts=1)
+        assert result.assignments.min() >= 0
+        assert result.assignments.max() < k
+        assert result.inertia >= 0
+
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(3, 12), st.just(2)),
+            elements=st.floats(-5, 5, allow_nan=False, width=32),
+        )
+    )
+    def test_more_clusters_never_increase_inertia(self, points):
+        weights = np.ones(points.shape[0])
+        one = weighted_kmeans(points, weights, k=1, seed=0)
+        many = weighted_kmeans(
+            points, weights, k=min(3, points.shape[0]), seed=0
+        )
+        assert many.inertia <= one.inertia + 1e-9
+
+
+class TestCodecProperty:
+    @given(st.integers(0, 2**31), st.integers(20, 34))
+    @settings(max_examples=8)
+    def test_roundtrip_random_content(self, seed, crf):
+        """Encode/decode bijection holds for arbitrary content and quality."""
+        from repro.codec.decoder import decode
+        from repro.codec.encoder import encode
+        from repro.video.frame import Frame
+        from repro.video.video import Video
+
+        rng = np.random.default_rng(seed)
+        frames = [
+            Frame.from_planes(
+                rng.integers(0, 256, size=(32, 48)),
+                rng.integers(0, 256, size=(16, 24)),
+                rng.integers(0, 256, size=(16, 24)),
+            )
+            for _ in range(3)
+        ]
+        video = Video(frames, fps=10.0)
+        result = encode(video, config="veryfast", crf=crf)
+        assert decode(result.bitstream) == result.recon

@@ -1,0 +1,118 @@
+"""Quantization: step doubling, dead zone, reconstruction error, RDOQ."""
+
+import numpy as np
+import pytest
+
+from repro.codec.quant import (
+    QP_MAX,
+    QP_MIN,
+    dequantize,
+    qp_to_qstep,
+    quant_matrix,
+    quantize,
+    rdoq_threshold,
+)
+
+
+class TestQstep:
+    def test_doubles_every_six(self):
+        assert qp_to_qstep(22) == pytest.approx(2 * qp_to_qstep(16))
+
+    def test_reference_point(self):
+        assert qp_to_qstep(4) == pytest.approx(1.0)
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            qp_to_qstep(QP_MIN - 1)
+        with pytest.raises(ValueError):
+            qp_to_qstep(QP_MAX + 1)
+
+
+class TestQuantMatrix:
+    def test_flat_is_ones(self):
+        assert np.all(quant_matrix(8, flat=True) == 1.0)
+
+    def test_perceptual_grows_with_frequency(self):
+        mat = quant_matrix(8)
+        assert mat[0, 0] == pytest.approx(1.0)
+        assert mat[7, 7] == pytest.approx(2.0)
+        assert mat[0, 7] > mat[0, 0]
+
+    def test_readonly(self):
+        with pytest.raises(ValueError):
+            quant_matrix(8)[0, 0] = 9
+
+
+class TestQuantizeDequantize:
+    def test_small_coeffs_become_zero(self):
+        coeffs = np.full((1, 8, 8), 0.2)
+        assert np.all(quantize(coeffs, qp=30) == 0)
+
+    def test_deadzone_biases_down(self):
+        qstep = qp_to_qstep(16)
+        coeffs = np.full((1, 8, 8), 0.6 * qstep)
+        # With rounding at 0.5 this would be level 1; dead zone keeps 0.
+        assert np.all(quantize(coeffs, qp=16, flat=True, deadzone=1 / 3) == 0)
+
+    def test_sign_preserved(self):
+        coeffs = np.array([[[100.0, -100.0] + [0.0] * 6] + [[0.0] * 8] * 7])
+        levels = quantize(coeffs, qp=20, flat=True)
+        assert levels[0, 0, 0] > 0
+        assert levels[0, 0, 1] < 0
+
+    def test_reconstruction_error_bounded_by_step(self, rng):
+        qp = 24
+        coeffs = rng.normal(0, 100, size=(4, 8, 8))
+        levels = quantize(coeffs, qp, flat=True)
+        recon = dequantize(levels, qp, flat=True)
+        assert np.max(np.abs(recon - coeffs)) <= qp_to_qstep(qp) + 1e-9
+
+    def test_coarser_qp_more_zeros(self, rng):
+        coeffs = rng.normal(0, 20, size=(4, 8, 8))
+        fine = np.count_nonzero(quantize(coeffs, 10))
+        coarse = np.count_nonzero(quantize(coeffs, 40))
+        assert coarse < fine
+
+    def test_integer_output(self):
+        levels = quantize(np.zeros((1, 8, 8)), 20)
+        assert levels.dtype == np.int32
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            quantize(np.zeros((8, 8)), 20)
+        with pytest.raises(ValueError):
+            quantize(np.zeros((1, 8, 8)), 20, deadzone=1.5)
+        with pytest.raises(ValueError):
+            dequantize(np.zeros((8, 8)), 20)
+
+
+class TestRdoq:
+    def test_drops_marginal_levels(self, rng):
+        qp = 28
+        qstep = qp_to_qstep(qp)
+        # Coefficients just over the quantization threshold: cheap to drop.
+        coeffs = rng.uniform(0.70, 0.85, size=(4, 8, 8)) * qstep
+        coeffs[:, 0, 0] = 10 * qstep
+        levels = quantize(coeffs, qp, flat=True)
+        out = rdoq_threshold(levels, coeffs, qp, flat=True)
+        assert np.count_nonzero(out) < np.count_nonzero(levels)
+
+    def test_never_drops_dc(self, rng):
+        qp = 28
+        coeffs = rng.normal(0, 5, size=(4, 8, 8))
+        coeffs[:, 0, 0] = qp_to_qstep(qp)  # small but nonzero DC
+        levels = quantize(coeffs, qp, flat=True)
+        out = rdoq_threshold(levels, coeffs, qp, flat=True)
+        assert np.array_equal(out[:, 0, 0], levels[:, 0, 0])
+
+    def test_keeps_strong_levels(self):
+        qp = 28
+        coeffs = np.zeros((1, 8, 8))
+        coeffs[0, 1, 1] = 50 * qp_to_qstep(qp)
+        levels = quantize(coeffs, qp, flat=True)
+        out = rdoq_threshold(levels, coeffs, qp, flat=True)
+        assert out[0, 1, 1] == levels[0, 1, 1]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            rdoq_threshold(np.zeros((1, 8, 8), np.int32), np.zeros((2, 8, 8)), 20)

@@ -1,0 +1,81 @@
+"""Video selection pipeline: representativeness and coverage mechanics."""
+
+import pytest
+
+from repro.corpus.category import VideoCategory
+from repro.corpus.synthetic import SyntheticCorpus
+from repro.core.selection import pick_chunk, select_categories, select_suite_videos
+
+
+@pytest.fixture(scope="module")
+def small_corpus():
+    return SyntheticCorpus(seed=5, n_uploads=4000)
+
+
+class TestSelectCategories:
+    def test_returns_k_distinct(self, small_corpus):
+        chosen = select_categories(small_corpus.categories, k=8, seed=1)
+        assert len(chosen) == 8
+        assert len({c.key() for c in chosen}) == 8
+
+    def test_sorted_by_resolution_then_entropy(self, small_corpus):
+        chosen = select_categories(small_corpus.categories, k=8, seed=1)
+        keys = [(c.kpixels, c.entropy) for c in chosen]
+        assert keys == sorted(keys)
+
+    def test_heavy_category_always_selected(self):
+        cats = [
+            VideoCategory(854, 480, 30, e, weight=1.0)
+            for e in (0.5, 1.0, 2.0, 8.0, 16.0)
+        ]
+        cats.append(VideoCategory(1920, 1080, 30, 4.0, weight=1e9))
+        chosen = select_categories(cats, k=2, seed=0)
+        assert any(c.kpixels == 2074 for c in chosen)
+
+    def test_covers_entropy_extremes(self, small_corpus):
+        chosen = select_categories(
+            small_corpus.significant_categories(), k=15, seed=0
+        )
+        entropies = [c.entropy for c in chosen]
+        assert max(entropies) / min(entropies) > 20
+
+    def test_validation(self, small_corpus):
+        with pytest.raises(ValueError):
+            select_categories(small_corpus.categories, k=0)
+        with pytest.raises(ValueError):
+            select_categories(small_corpus.categories[:3], k=5)
+
+
+class TestPickChunk:
+    def test_short_clip_unchanged(self, natural_video):
+        assert pick_chunk(natural_video, chunk_seconds=10.0) is natural_video
+
+    def test_picks_representative_chunk(self):
+        from repro.video.synthesis import synthesize
+        from repro.video.video import Video
+
+        calm = synthesize("slideshow", 48, 32, 6, 6.0, seed=1)
+        busy = synthesize("sports", 48, 32, 6, 6.0, seed=1)
+        mixed = Video(calm.frames + busy.frames + calm.frames, fps=6.0)
+        chunk = pick_chunk(mixed, chunk_seconds=1.0)
+        assert len(chunk) == 6
+
+
+class TestSelectSuiteVideos:
+    def test_full_pipeline(self, small_corpus):
+        selected = select_suite_videos(small_corpus, k=4, profile="tiny", seed=3)
+        assert len(selected) == 4
+        names = [s.name for s in selected]
+        assert len(set(names)) == 4  # deduplicated
+        for entry in selected:
+            assert entry.measured_entropy > 0
+            assert entry.video.nominal_resolution == (
+                entry.category.width,
+                entry.category.height,
+            )
+
+    def test_deterministic(self, small_corpus):
+        a = select_suite_videos(small_corpus, k=3, profile="tiny", seed=3)
+        b = select_suite_videos(small_corpus, k=3, profile="tiny", seed=3)
+        assert [s.name for s in a] == [s.name for s in b]
+        assert all(x.video == y.video for x, y in zip(a, b))

@@ -1,0 +1,144 @@
+"""SIMD model: ISA widths, kernel costs, cycle attributions, Amdahl."""
+
+import pytest
+
+from repro.codec.instrumentation import KERNELS, Counters
+from repro.simd import (
+    ISA_LADDER,
+    KERNEL_SPECS,
+    IsaLevel,
+    amdahl_speedup_bound,
+    cycle_breakdown,
+    cycles_per_unit,
+    isa_breakdown,
+    modeled_seconds,
+    scalar_fraction,
+    vector_fraction_by_isa,
+)
+from repro.simd.isa import float_lanes, int_lanes
+from repro.simd.kernels import KernelSpec, attributed_isa, transform_scale
+
+
+def _counters(**kwargs):
+    counters = Counters()
+    for kernel, units in kwargs.items():
+        counters.add(kernel, units)
+    return counters
+
+
+class TestIsa:
+    def test_ladder_ordered(self):
+        assert list(ISA_LADDER) == sorted(ISA_LADDER)
+
+    def test_int_lanes_monotone(self):
+        lanes = [int_lanes(level) for level in ISA_LADDER]
+        assert all(a <= b for a, b in zip(lanes, lanes[1:]))
+
+    def test_avx_does_not_widen_integers(self):
+        assert int_lanes(IsaLevel.AVX) == int_lanes(IsaLevel.SSE2)
+
+    def test_avx_widens_floats(self):
+        assert float_lanes(IsaLevel.AVX) == 2 * float_lanes(IsaLevel.SSE4)
+
+
+class TestKernelSpecs:
+    def test_every_kernel_covered(self):
+        assert set(KERNEL_SPECS) == set(KERNELS)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            KernelSpec("x", 0, 0.5, 8)
+        with pytest.raises(ValueError):
+            KernelSpec("x", 10, 1.5, 8)
+        with pytest.raises(ValueError):
+            KernelSpec("x", 10, 0.5, 0)
+        with pytest.raises(ValueError):
+            KernelSpec("x", 10, 0.5, 8, "complex")
+
+    def test_cycles_decrease_with_wider_isa(self):
+        spec = KERNEL_SPECS["sad"]
+        scalar = cycles_per_unit(spec, IsaLevel.SCALAR)
+        avx2 = cycles_per_unit(spec, IsaLevel.AVX2)
+        assert avx2 < scalar
+
+    def test_scalar_kernels_isa_independent(self):
+        spec = KERNEL_SPECS["entropy_bin"]
+        assert cycles_per_unit(spec, IsaLevel.SCALAR) == cycles_per_unit(
+            spec, IsaLevel.AVX2
+        )
+
+    def test_transform_scale(self):
+        assert transform_scale("dct", 16) == pytest.approx(8.0)
+        assert transform_scale("quant", 16) == pytest.approx(4.0)
+        assert transform_scale("sad", 16) == 1.0
+
+    def test_attribution_respects_width_ceiling(self):
+        # A 16-lane integer kernel stays on SSE2-class code under AVX2.
+        spec = KERNEL_SPECS["recon"]
+        assert attributed_isa(spec, IsaLevel.AVX2) == IsaLevel.SSE2
+
+    def test_attribution_of_wide_kernel(self):
+        assert attributed_isa(KERNEL_SPECS["sad"], IsaLevel.AVX2) == IsaLevel.AVX2
+
+    def test_attribution_below_min_isa_is_scalar(self):
+        spec = KERNEL_SPECS["quant"]  # min_isa SSE4
+        assert attributed_isa(spec, IsaLevel.SSE2) == IsaLevel.SCALAR
+
+
+class TestAnalysis:
+    def test_modeled_seconds_positive(self):
+        counters = _counters(sad=1000, dct=500)
+        assert modeled_seconds(counters) > 0
+
+    def test_seconds_fall_with_isa(self):
+        counters = _counters(sad=1000, dct=500, entropy_sym=100)
+        times = [modeled_seconds(counters, isa=level) for level in ISA_LADDER]
+        assert all(a >= b for a, b in zip(times, times[1:]))
+
+    def test_sse2_to_avx2_gain_modest(self, medium_crf_encode):
+        """The paper: only ~15% from fifteen years of ISA extensions."""
+        counters = medium_crf_encode.counters
+        sse2 = modeled_seconds(counters, isa=IsaLevel.SSE2)
+        avx2 = modeled_seconds(counters, isa=IsaLevel.AVX2)
+        assert 1.0 < sse2 / avx2 < 1.6
+
+    def test_scalar_to_sse2_gain_large(self, medium_crf_encode):
+        counters = medium_crf_encode.counters
+        scalar = modeled_seconds(counters, isa=IsaLevel.SCALAR)
+        sse2 = modeled_seconds(counters, isa=IsaLevel.SSE2)
+        assert scalar / sse2 > 2.0
+
+    def test_scalar_fraction_bounds(self, medium_crf_encode):
+        frac = scalar_fraction(medium_crf_encode.counters)
+        assert 0.4 < frac < 0.9
+
+    def test_fractions_sum_to_one(self, medium_crf_encode):
+        fractions = vector_fraction_by_isa(medium_crf_encode.counters)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_avx2_fraction_small(self, medium_crf_encode):
+        """Figure 7: less than 20% of cycles in AVX2 code."""
+        fractions = vector_fraction_by_isa(medium_crf_encode.counters)
+        assert fractions[IsaLevel.AVX2] < 0.25
+
+    def test_isa_breakdown_rows_consistent(self, medium_crf_encode):
+        rows = isa_breakdown(medium_crf_encode.counters)
+        for enabled, row in rows.items():
+            total = sum(row.values())
+            assert total == pytest.approx(
+                modeled_seconds(medium_crf_encode.counters, isa=enabled) * 4.0e9
+            )
+        # Total time falls (or holds) as ISAs are enabled.
+        totals = [sum(rows[level].values()) for level in ISA_LADDER]
+        assert all(a >= b for a, b in zip(totals, totals[1:]))
+
+    def test_amdahl_bound(self, medium_crf_encode):
+        """Figure 8's conclusion: 2x wider AVX2 buys < 10%."""
+        bound = amdahl_speedup_bound(medium_crf_encode.counters)
+        assert 1.0 <= bound < 1.10
+
+    def test_empty_counters_rejected(self):
+        with pytest.raises(ValueError):
+            scalar_fraction(Counters())
+        with pytest.raises(ValueError):
+            vector_fraction_by_isa(Counters())

@@ -1,0 +1,89 @@
+"""Cross-cutting consistency checks over the assembled benchmark.
+
+These tests exercise the agreements *between* subsystems that no single
+module test covers: the decoder's quality equals the encoder's reported
+reconstruction quality, modeled speed responds to real work, scenario
+scores agree with the raw transcodes they were computed from.
+"""
+
+import pytest
+
+from repro.codec.decoder import Decoder
+from repro.codec.encoder import encode
+from repro.core.scenarios import Scenario, compute_ratios, score_scenario
+from repro.encoders import RateSpec, X264Transcoder, get_transcoder
+from repro.metrics.psnr import psnr
+from repro.simd.analysis import modeled_seconds
+from repro.video.synthesis import synthesize
+
+
+class TestCrossLayerAgreement:
+    def test_decoded_quality_equals_recon_quality(self, natural_video):
+        result = encode(natural_video, config="medium", crf=26)
+        decoded = Decoder().decode(result.bitstream).video
+        assert psnr(natural_video, decoded) == pytest.approx(
+            psnr(natural_video, result.recon)
+        )
+
+    def test_transcode_metrics_consistent(self, natural_video):
+        backend = X264Transcoder("veryfast")
+        result = backend.transcode(natural_video, RateSpec.for_crf(28))
+        assert result.bitrate == pytest.approx(
+            result.compressed_bytes * 8 / natural_video.duration
+        )
+        assert result.bits_per_pixel_second == pytest.approx(
+            result.bitrate / natural_video.frame_pixels
+        )
+        assert result.seconds == pytest.approx(
+            modeled_seconds(result.counters), rel=1e-12
+        )
+
+    def test_scores_recomputable_from_results(self, natural_video):
+        ref = X264Transcoder("medium").transcode(
+            natural_video, RateSpec.for_bitrate(5e4, two_pass=True)
+        )
+        new = get_transcoder("qsv").transcode(
+            natural_video, RateSpec.for_bitrate(5e4)
+        )
+        ratios = compute_ratios(new, ref)
+        score = score_scenario(Scenario.VOD, new, ref)
+        assert score.ratios == ratios
+        if score.score is not None:
+            assert score.score == pytest.approx(ratios.speed * ratios.bitrate)
+
+    def test_modeled_speed_tracks_work(self):
+        """More search work must mean strictly more modeled time."""
+        clip = synthesize("gaming", 64, 48, 8, 12.0, seed=8)
+        fast = encode(clip, config="ultrafast", crf=30)
+        slow = encode(clip, config="placebo", crf=30)
+        assert modeled_seconds(slow.counters) > modeled_seconds(fast.counters)
+
+    def test_counters_scale_with_content_size(self):
+        small = synthesize("natural", 48, 32, 4, 12.0, seed=8)
+        large = synthesize("natural", 96, 64, 8, 12.0, seed=8)
+        a = encode(small, config="veryfast", crf=28)
+        b = encode(large, config="veryfast", crf=28)
+        assert b.counters.get("dct") > 2 * a.counters.get("dct")
+
+    def test_entropy_orders_content_classes(self, all_content_videos):
+        from repro.video.entropy import measure_entropy
+
+        calm = measure_entropy(all_content_videos["slideshow"])
+        busy = measure_entropy(all_content_videos["sports"])
+        assert busy > 10 * calm
+
+
+class TestSuiteDeterminism:
+    def test_suite_reproducible_across_processes(self):
+        """The suite hinges only on seeds: same inputs, same Table 2."""
+        from repro.core.benchmark import vbench_suite
+        from repro.corpus.synthetic import SyntheticCorpus
+
+        a = vbench_suite(profile="tiny", k=4, seed=123)
+        b = vbench_suite(
+            profile="tiny", k=4, seed=123,
+            corpus=SyntheticCorpus(seed=123),
+        )
+        assert a.table2() == b.table2()
+        for x, y in zip(a, b):
+            assert x.video == y.video

@@ -1,0 +1,75 @@
+"""Y4M serialization: round trips, header parsing, corruption handling."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.video.io import load_video, read_y4m, save_video, write_y4m
+from repro.video.frame import Frame
+from repro.video.video import Video
+
+
+def _roundtrip(video):
+    buffer = io.BytesIO()
+    write_y4m(video, buffer)
+    buffer.seek(0)
+    return read_y4m(buffer)
+
+
+class TestRoundTrip:
+    def test_exact_roundtrip(self, natural_video):
+        assert _roundtrip(natural_video) == natural_video
+
+    def test_ntsc_framerate(self):
+        video = Video([Frame.blank(16, 16)] * 2, fps=30000 / 1001)
+        out = _roundtrip(video)
+        assert out.fps == pytest.approx(video.fps, rel=1e-9)
+
+    def test_bytes_written(self):
+        video = Video([Frame.blank(16, 16)] * 2, fps=10)
+        buffer = io.BytesIO()
+        written = write_y4m(video, buffer)
+        assert written == len(buffer.getvalue())
+        # header + 2 * (FRAME marker + payload)
+        payload = 2 * (6 + 256 + 2 * 64)
+        assert written > payload
+
+    def test_file_roundtrip(self, tmp_path, natural_video):
+        path = tmp_path / "clip.y4m"
+        save_video(natural_video, path)
+        loaded = load_video(path)
+        assert loaded == natural_video
+        assert loaded.name == "clip"
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(ValueError, match="YUV4MPEG2"):
+            read_y4m(io.BytesIO(b"JUNK W2 H2 F1:1\n"))
+
+    def test_unsupported_chroma(self):
+        with pytest.raises(ValueError, match="chroma"):
+            read_y4m(io.BytesIO(b"YUV4MPEG2 W2 H2 F1:1 C444\n"))
+
+    def test_missing_dimensions(self):
+        with pytest.raises(ValueError, match="malformed"):
+            read_y4m(io.BytesIO(b"YUV4MPEG2 F1:1\n"))
+
+    def test_truncated_frame(self):
+        video = Video([Frame.blank(16, 16)], fps=10)
+        buffer = io.BytesIO()
+        write_y4m(video, buffer)
+        data = buffer.getvalue()[:-10]
+        with pytest.raises(ValueError, match="truncated"):
+            read_y4m(io.BytesIO(data))
+
+    def test_no_frames(self):
+        with pytest.raises(ValueError, match="no frames"):
+            read_y4m(io.BytesIO(b"YUV4MPEG2 W2 H2 F1:1 C420\n"))
+
+    def test_bad_frame_marker(self):
+        header = b"YUV4MPEG2 W2 H2 F1:1 C420\n"
+        payload = b"NOTFRAME\n" + bytes(6)
+        with pytest.raises(ValueError, match="FRAME"):
+            read_y4m(io.BytesIO(header + payload))

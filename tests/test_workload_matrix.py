@@ -1,0 +1,75 @@
+"""Broad content x configuration matrix: the codec on every workload.
+
+The paper's whole argument is that transcoding behaviour is input
+dependent; this matrix pins the codec's correctness across the full
+content-class spread at several effort levels, and its qualitative
+behaviours (skip rates, intra rates, bit costs) where classes should
+differ.
+"""
+
+import pytest
+
+from repro.codec.decoder import decode
+from repro.codec.encoder import encode
+from repro.codec.types import BlockMode, FrameType
+from repro.metrics.psnr import psnr
+from repro.video.synthesis import CONTENT_CLASSES, synthesize
+
+PRESETS = ("ultrafast", "medium", "veryslow")
+
+
+@pytest.fixture(scope="module")
+def clips():
+    return {
+        content: synthesize(content, 48, 32, 5, 12.0, seed=77)
+        for content in CONTENT_CLASSES
+    }
+
+
+@pytest.mark.parametrize("preset_name", PRESETS)
+@pytest.mark.parametrize("content", sorted(CONTENT_CLASSES))
+class TestMatrix:
+    def test_roundtrip_and_quality(self, clips, content, preset_name):
+        clip = clips[content]
+        result = encode(clip, config=preset_name, crf=30)
+        assert decode(result.bitstream) == result.recon
+        assert psnr(clip, result.recon) > 28.0
+
+
+class TestClassBehaviours:
+    def test_static_classes_skip_more(self, clips):
+        def skip_share(content):
+            result = encode(clips[content], config="medium", crf=30)
+            p_stats = [s for s in result.stats if s.frame_type is FrameType.P]
+            total = sum(s.total_blocks for s in p_stats)
+            skipped = sum(s.skip_blocks for s in p_stats)
+            return skipped / max(total, 1)
+
+        assert skip_share("slideshow") > skip_share("sports")
+        assert skip_share("screencast") > skip_share("gaming")
+
+    def test_busy_classes_cost_more_bits(self, clips):
+        def bits(content):
+            return encode(clips[content], config="medium", crf=30).total_bits
+
+        assert bits("sports") > bits("slideshow")
+        assert bits("gaming") > bits("screencast")
+
+    def test_high_motion_uses_nonzero_vectors(self, clips):
+        from repro.codec.encoder import Encoder
+        from repro.codec.instrumentation import TraceRecorder
+        from repro.codec.ratecontrol import RateControl
+
+        result = encode(clips["gaming"], config="medium", crf=30)
+        # Motion content must not degenerate to all-skip or all-intra.
+        p_stats = [s for s in result.stats if s.frame_type is FrameType.P]
+        assert any(s.inter_blocks > 0 for s in p_stats)
+
+    def test_reencoding_recon_is_cheaper(self, clips):
+        """Generation stability: re-encoding an encode costs fewer bits
+        (its grain is already gone) and stays decodable."""
+        clip = clips["natural"]
+        first = encode(clip, config="medium", crf=26)
+        second = encode(first.recon, config="medium", crf=26)
+        assert second.total_bits <= first.total_bits
+        assert decode(second.bitstream) == second.recon
