@@ -12,7 +12,6 @@ paper result rests on:
 * sub-pel refinement: residual energy on moving content.
 """
 
-import numpy as np
 from conftest import emit
 
 from repro.codec.encoder import encode

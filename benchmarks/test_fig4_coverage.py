@@ -8,7 +8,7 @@ Netflix/Xiph/SPEC, whose missing low-entropy mass is the whole point.
 
 from conftest import emit
 
-from repro.core.coverage import compare_suites, coverage_metrics, scatter_points
+from repro.core.coverage import compare_suites, scatter_points
 from repro.corpus.category import VideoCategory
 from repro.corpus.datasets import coverage_set, dataset_categories
 

@@ -9,7 +9,6 @@ front-end trends (the paper's "choice of video set changes the apparent
 trends" argument).
 """
 
-import math
 import os
 
 import numpy as np

@@ -6,7 +6,6 @@ every entropy, and under ~20% can exploit AVX2's width -- the Amdahl wall
 of Section 5.2.
 """
 
-import numpy as np
 from conftest import emit
 
 from repro.codec.encoder import encode

@@ -10,6 +10,7 @@ script).  Commands:
 * ``decode``  -- decode a bitstream back to Y4M.
 * ``entropy`` -- measure a clip's entropy (CRF-18 bits/pixel/second).
 * ``analyze`` -- microarchitecture + SIMD profile of encoding a clip.
+* ``chaos``   -- seeded fault-injection run of the transcoding farm.
 
 Every command prints human-readable rows to stdout and exits non-zero on
 invalid input, so the tools compose in shell pipelines.
@@ -76,6 +77,39 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("input", help="input .y4m path")
     analyze.add_argument("--preset", default="medium")
     analyze.add_argument("--crf", type=int, default=23)
+
+    chaos = sub.add_parser(
+        "chaos", help="fault-injection experiment over the synthetic suite"
+    )
+    _suite_args(chaos)
+    chaos.add_argument("--workers", type=int, default=4)
+    chaos.add_argument(
+        "--delivery-backend", default="x264:medium", help="rung 0 for uploads"
+    )
+    chaos.add_argument(
+        "--popular-backend", default="x264:veryslow", help="rung 0 for promotions"
+    )
+    chaos.add_argument("--fault-seed", type=int, default=0)
+    chaos.add_argument("--crash-rate", type=float, default=0.1)
+    chaos.add_argument("--straggler-rate", type=float, default=0.05)
+    chaos.add_argument("--straggler-factor", type=float, default=20.0)
+    chaos.add_argument("--corrupt-rate", type=float, default=0.05)
+    chaos.add_argument(
+        "--dead",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="backend spec to take permanently down (repeatable)",
+    )
+    chaos.add_argument(
+        "--live-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="make every Nth upload a live stream (0 = none)",
+    )
+    chaos.add_argument("--views", type=int, default=5000)
+    chaos.add_argument("--view-seed", type=int, default=0)
     return parser
 
 
@@ -225,6 +259,43 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.core.benchmark import vbench_suite
+    from repro.encoders.registry import get_transcoder
+    from repro.pipeline.farm import FarmConfig, TranscodeFarm
+    from repro.robust.faults import FaultPlan
+
+    for spec in args.dead:
+        get_transcoder(spec)  # a typo'd --dead would silently inject nothing
+    plan = FaultPlan(
+        seed=args.fault_seed,
+        crash_rate=args.crash_rate,
+        straggler_rate=args.straggler_rate,
+        corrupt_rate=args.corrupt_rate,
+        straggler_factor=args.straggler_factor,
+        dead_backends=frozenset(args.dead),
+    )
+    farm = TranscodeFarm(
+        delivery_backend=args.delivery_backend,
+        popular_backend=args.popular_backend,
+        config=FarmConfig(workers=args.workers),
+        fault_plan=plan,
+    )
+    suite = vbench_suite(profile=args.profile, k=args.k, seed=args.seed)
+    for index, entry in enumerate(suite.videos):
+        live = args.live_every > 0 and index % args.live_every == 0
+        farm.upload(entry.video, live=live)
+    if args.views > 0:
+        farm.simulate_views(args.views, seed=args.view_seed)
+    report = farm.finalize()
+    print(report.to_text())
+    print("costs:")
+    for category, dollars in sorted(farm.costs.breakdown().items()):
+        print(f"  {category:<8} ${dollars:.6f}")
+    print(f"  compute-hours {farm.costs.compute_hours:.9f}")
+    return 0
+
+
 _COMMANDS = {
     "suite": _cmd_suite,
     "run": _cmd_run,
@@ -233,6 +304,7 @@ _COMMANDS = {
     "decode": _cmd_decode,
     "entropy": _cmd_entropy,
     "analyze": _cmd_analyze,
+    "chaos": _cmd_chaos,
 }
 
 

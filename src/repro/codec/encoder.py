@@ -15,7 +15,7 @@ depends on previously reconstructed neighbours.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -571,7 +571,6 @@ class _CodingState:
         recon_y = np.empty((self.coded_h, self.coded_w))
         recon_u = np.empty((self.coded_h // 2, self.coded_w // 2))
         recon_v = np.empty_like(recon_u)
-        k = MB_SIZE // tsize
         luma_levels = []
         chroma_levels_u = []
         chroma_levels_v = []

@@ -10,7 +10,6 @@ call -- which is what makes the fast presets fast.
 
 from __future__ import annotations
 
-from typing import Tuple
 
 import numpy as np
 

@@ -12,7 +12,6 @@ QP follows the H.264 convention: the step size doubles every 6 QP,
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Tuple
 
 import numpy as np
 

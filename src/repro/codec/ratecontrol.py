@@ -224,7 +224,6 @@ class RateControl:
             )
         target = self._plan[self._frame_index]
         # Closed loop: scale the remaining targets by the remaining budget.
-        planned_so_far = sum(self._plan[: self._frame_index])
         remaining_planned = sum(self._plan[self._frame_index :])
         total_budget = self._bits_per_frame * len(self._plan)
         remaining_budget = total_budget - self._bits_spent

@@ -15,7 +15,7 @@ for any backend:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
 from typing import Optional
 
 from repro.encoders.base import RateSpec, Transcoder, TranscodeResult
@@ -51,8 +51,10 @@ def bisect_to_quality(
     (it is how Section 6.2 concludes GPUs produce no valid Popular
     transcodes).
     """
-    if initial_bitrate <= 0:
-        raise ValueError(f"initial bitrate must be positive, got {initial_bitrate}")
+    if not math.isfinite(initial_bitrate) or initial_bitrate <= 0:
+        raise ValueError(
+            f"initial bitrate must be positive and finite, got {initial_bitrate}"
+        )
     if iterations < 1:
         raise ValueError(f"need at least one iteration, got {iterations}")
 

@@ -10,7 +10,7 @@ here format per-video tables (ASCII and CSV) and refuse to average.
 from __future__ import annotations
 
 import io
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.core.scenarios import ScenarioScore
 

@@ -45,6 +45,17 @@ class Scenario(enum.Enum):
     POPULAR = "popular"
     PLATFORM = "platform"
 
+    @property
+    def realtime(self) -> bool:
+        """Whether the scenario carries a hard real-time deadline.
+
+        Live must keep up with the incoming stream: its deadline budget is
+        the video's own duration.  The batch scenarios only need to finish
+        "soon" (:class:`repro.robust.retry.DeadlinePolicy` scales their
+        budgets from the clip duration instead).
+        """
+        return self is Scenario.LIVE
+
 
 @dataclass(frozen=True)
 class Ratios:

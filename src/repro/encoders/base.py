@@ -10,6 +10,7 @@ paper's three metric axes need: compressed size, output pixels, and time.
 from __future__ import annotations
 
 import abc
+import math
 from dataclasses import dataclass
 from typing import Optional
 
@@ -43,12 +44,19 @@ class RateSpec:
         if self.kind == "crf":
             if self.crf is None:
                 raise ValueError("crf rate spec needs a crf value")
+            if not math.isfinite(self.crf):
+                raise ValueError(f"crf must be finite, got {self.crf}")
             if self.two_pass:
                 raise ValueError("two-pass requires a bitrate target")
         if self.kind == "abr" and (
-            self.bitrate_bps is None or self.bitrate_bps <= 0
+            self.bitrate_bps is None
+            or not math.isfinite(self.bitrate_bps)
+            or self.bitrate_bps <= 0
         ):
-            raise ValueError("abr rate spec needs a positive bitrate")
+            raise ValueError(
+                "abr rate spec needs a positive finite bitrate, got "
+                f"{self.bitrate_bps}"
+            )
 
     @classmethod
     def for_crf(cls, crf: int) -> "RateSpec":

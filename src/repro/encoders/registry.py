@@ -6,8 +6,9 @@ e.g. ``"x264:veryslow"`` or ``"x265"`` (which uses its Table 5 default).
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable, Dict, List
 
+from repro.codec.presets import PRESETS
 from repro.encoders.base import Transcoder
 from repro.encoders.hardware import NvencTranscoder, QsvTranscoder
 from repro.encoders.software import (
@@ -17,7 +18,12 @@ from repro.encoders.software import (
     X265Transcoder,
 )
 
-__all__ = ["BACKENDS", "get_transcoder"]
+__all__ = [
+    "BACKENDS",
+    "HARDWARE_BACKENDS",
+    "available_backends",
+    "get_transcoder",
+]
 
 BACKENDS: Dict[str, Callable[..., Transcoder]] = {
     "x264": X264Transcoder,
@@ -28,6 +34,18 @@ BACKENDS: Dict[str, Callable[..., Transcoder]] = {
     "qsv": QsvTranscoder,
 }
 
+#: Backend names that model fixed-function encoders (no preset ladder).
+HARDWARE_BACKENDS = frozenset({"nvenc", "qsv"})
+
+
+def available_backends() -> List[str]:
+    """Sorted names of every registered backend.
+
+    Degradation ladders (:mod:`repro.robust.degrade`) use this to discover
+    legitimate fallback targets without hard-coding the registry contents.
+    """
+    return sorted(BACKENDS)
+
 
 def get_transcoder(spec: str) -> Transcoder:
     """Build a transcoder from a ``name`` or ``name:preset`` spec."""
@@ -36,10 +54,15 @@ def get_transcoder(spec: str) -> Transcoder:
         factory = BACKENDS[name]
     except KeyError:
         raise ValueError(
-            f"unknown backend {name!r}; expected one of {sorted(BACKENDS)}"
+            f"unknown backend {name!r}; expected one of {available_backends()}"
         ) from None
     if preset_name:
-        if name in ("nvenc", "qsv"):
+        if name in HARDWARE_BACKENDS:
             raise ValueError(f"{name} does not take a preset (got {preset_name!r})")
+        if preset_name not in PRESETS:
+            raise ValueError(
+                f"unknown preset {preset_name!r} for backend {name!r}; "
+                f"expected one of {sorted(PRESETS)}"
+            )
         return factory(preset_name)
     return factory()

@@ -15,10 +15,9 @@ evaluated at AVX2, the reference machine's best ISA.
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional
 
 from repro.codec.encoder import encode
-from repro.codec.presets import PRESETS, EncoderConfig, preset
+from repro.codec.presets import EncoderConfig, preset
 from repro.encoders.base import RateSpec, Transcoder, TranscodeResult
 from repro.simd.analysis import modeled_seconds
 from repro.simd.isa import IsaLevel

@@ -14,7 +14,6 @@ every encoder the paper measures; we use the standard definition.)
 from __future__ import annotations
 
 import math
-from typing import Sequence
 
 import numpy as np
 

@@ -6,18 +6,36 @@ transcodes into the delivery ladder; videos observed to be popular earn a
 high-effort re-transcode whose cost is amortized over their many
 playbacks.  A storage/network/compute cost model quantifies the tradeoffs
 the paper's scenarios encode.
+
+:mod:`repro.pipeline.farm` adds the production layer: a fault-tolerant
+worker farm (retries, circuit breakers, deadlines, graceful degradation,
+dead-letter queue) driving the same service under injected chaos.
 """
 
 from repro.pipeline.costs import CostModel, CostReport
+from repro.pipeline.farm import (
+    DeadLetter,
+    FarmConfig,
+    FarmJobError,
+    ResilientTranscoder,
+    RobustnessReport,
+    TranscodeFarm,
+)
 from repro.pipeline.ladder import LadderRung, build_ladder
 from repro.pipeline.service import ServiceConfig, SharingService, VideoRecord
 
 __all__ = [
     "CostModel",
     "CostReport",
+    "DeadLetter",
+    "FarmConfig",
+    "FarmJobError",
     "LadderRung",
+    "ResilientTranscoder",
+    "RobustnessReport",
     "ServiceConfig",
     "SharingService",
+    "TranscodeFarm",
     "VideoRecord",
     "build_ladder",
 ]

@@ -1,0 +1,516 @@
+"""A fault-tolerant transcoding farm over the sharing service.
+
+:class:`TranscodeFarm` simulates N workers driving
+:class:`~repro.pipeline.service.SharingService` uploads and Popular
+promotions through the full robustness stack of :mod:`repro.robust`:
+
+* every transcode runs behind :class:`ResilientTranscoder` — retries with
+  capped, jittered backoff; per-backend circuit breakers; per-scenario
+  deadline budgets (Live's real-time constraint is a hard deadline: a
+  retry that would blow the budget is never attempted); and the graceful
+  degradation ladder down to faster presets and finally the hardware
+  model;
+* compute wasted on crashed and corrupted attempts is booked into the
+  service's :class:`~repro.pipeline.costs.CostReport` — chaos is not
+  free, and the cost report shows exactly what it cost;
+* jobs that exhaust the entire ladder land in a dead-letter queue instead
+  of raising, so one poisoned upload cannot take down the batch;
+* everything observable lands in a :class:`RobustnessReport` whose text
+  rendering is byte-stable under a fixed seed.
+
+Time is simulated (:class:`~repro.robust.clock.SimClock`): the farm seeks
+the clock to each worker's frontier before running its next job, which
+models parallelism deterministically on one interpreter thread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.scenarios import Scenario
+from repro.encoders.base import RateSpec, Transcoder, TranscodeResult
+from repro.encoders.registry import HARDWARE_BACKENDS, get_transcoder
+from repro.pipeline.costs import CostModel, CostReport
+from repro.pipeline.service import ServiceConfig, SharingService, VideoRecord
+from repro.robust.breaker import BreakerState, CircuitBreaker
+from repro.robust.clock import SimClock
+from repro.robust.degrade import (
+    DEFAULT_PRESET_FALLBACKS,
+    DowngradeEvent,
+    degradation_ladder,
+)
+from repro.robust.faults import (
+    BackendOutage,
+    FaultCounts,
+    FaultPlan,
+    FaultyTranscoder,
+    TransientFault,
+)
+from repro.robust.retry import DeadlineBudget, DeadlinePolicy, RetryPolicy
+from repro.video.video import Video
+
+__all__ = [
+    "DeadLetter",
+    "FarmConfig",
+    "FarmJobError",
+    "ResilientTranscoder",
+    "RobustnessReport",
+    "TranscodeFarm",
+]
+
+
+class FarmJobError(RuntimeError):
+    """Every rung of the degradation ladder failed for one transcode."""
+
+    def __init__(self, job: str, reason: str) -> None:
+        super().__init__(f"job {job!r} exhausted its ladder: {reason}")
+        self.job = job
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class FarmConfig:
+    """Farm-level robustness policy.
+
+    Attributes:
+        workers: Simulated parallel workers.
+        retry: Backoff policy per ladder rung.
+        deadlines: Per-scenario deadline budgets.
+        breaker_failure_threshold: Consecutive failures that open a
+            backend's circuit.
+        breaker_cooldown_s: Simulated seconds an open circuit waits
+            before admitting probes.
+        quality_floor_db: Outputs below this PSNR are treated as
+            corrupted (failed) attempts.
+        outage_detect_s: Simulated cost of discovering a dead backend
+            (connection timeout).
+        preset_fallbacks: Software presets the degradation ladder may
+            fall to.
+        hardware_fallback: Final ladder rung (a hardware backend spec),
+            or ``None`` for software-only ladders.
+    """
+
+    workers: int = 4
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    deadlines: DeadlinePolicy = field(default_factory=DeadlinePolicy)
+    breaker_failure_threshold: int = 4
+    breaker_cooldown_s: float = 30.0
+    breaker_half_open_probes: int = 1
+    quality_floor_db: float = 15.0
+    outage_detect_s: float = 0.01
+    preset_fallbacks: Tuple[str, ...] = DEFAULT_PRESET_FALLBACKS
+    hardware_fallback: Optional[str] = "qsv"
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"need at least one worker, got {self.workers}")
+        if self.quality_floor_db < 0:
+            raise ValueError(
+                f"quality floor must be non-negative, got {self.quality_floor_db}"
+            )
+        if self.outage_detect_s < 0:
+            raise ValueError(
+                f"outage detection cost must be >= 0, got {self.outage_detect_s}"
+            )
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """A job the farm gave up on, with enough context to replay it."""
+
+    job: str
+    stage: str  # "upload" or "promote"
+    reason: str
+
+
+@dataclass
+class RobustnessReport:
+    """Everything a chaos experiment observed.
+
+    ``to_text()`` renders with fixed precision and sorted keys, so two
+    runs under the same seed produce byte-identical reports.
+    """
+
+    jobs_total: int = 0
+    jobs_completed: int = 0
+    attempts: int = 0
+    retries: int = 0
+    deadline_retry_skips: int = 0
+    deadline_misses: int = 0
+    transient_failures: int = 0
+    outage_failures: int = 0
+    corrupt_detected: int = 0
+    wasted_compute_s: float = 0.0
+    makespan_s: float = 0.0
+    downgrades: List[DowngradeEvent] = field(default_factory=list)
+    dead_letters: List[DeadLetter] = field(default_factory=list)
+    breaker_states: Dict[str, str] = field(default_factory=dict)
+    breaker_failures: Dict[str, int] = field(default_factory=dict)
+    injected: Dict[str, FaultCounts] = field(default_factory=dict)
+
+    @property
+    def jobs_dead_lettered(self) -> int:
+        return len(self.dead_letters)
+
+    def to_text(self) -> str:
+        lines = [
+            "RobustnessReport",
+            f"  jobs:            {self.jobs_total} total, "
+            f"{self.jobs_completed} completed, "
+            f"{self.jobs_dead_lettered} dead-lettered",
+            f"  attempts:        {self.attempts} "
+            f"({self.retries} retries, "
+            f"{self.deadline_retry_skips} retries skipped by deadline)",
+            f"  faults seen:     transient={self.transient_failures} "
+            f"outage={self.outage_failures} corrupt={self.corrupt_detected}",
+            f"  deadline misses: {self.deadline_misses}",
+            f"  wasted compute:  {self.wasted_compute_s:.6f} s",
+            f"  makespan:        {self.makespan_s:.6f} s",
+            f"  downgrades ({len(self.downgrades)}):",
+        ]
+        for event in self.downgrades:
+            lines.append(
+                f"    {event.job}: {event.from_spec} -> {event.to_spec} "
+                f"[{event.reason}]"
+            )
+        lines.append("  breakers:")
+        for spec in sorted(self.breaker_states):
+            lines.append(
+                f"    {spec}: {self.breaker_states[spec]} "
+                f"({self.breaker_failures.get(spec, 0)} consecutive failures)"
+            )
+        lines.append("  injected faults:")
+        for spec in sorted(self.injected):
+            counts = self.injected[spec]
+            lines.append(
+                f"    {spec}: crashes={counts.crashes} "
+                f"stragglers={counts.stragglers} "
+                f"corruptions={counts.corruptions} outages={counts.outages}"
+            )
+        lines.append(f"  dead letters ({len(self.dead_letters)}):")
+        for letter in self.dead_letters:
+            lines.append(f"    {letter.job} [{letter.stage}]: {letter.reason}")
+        return "\n".join(lines)
+
+
+class ResilientTranscoder(Transcoder):
+    """Retry + breaker + degradation around a ladder of backends.
+
+    Implements the plain :class:`Transcoder` interface, so it drops into
+    :class:`SharingService` unchanged.  Each ``transcode`` call is one
+    *job attempt stream*: rung by rung down the ladder, with per-rung
+    retries, a deadline budget shared across the whole call, and wasted
+    compute booked into ``costs``.
+
+    Args:
+        ladder: Backend specs, most-preferred first.
+        pool: Shared spec -> transcoder instances (fault-wrapped or not).
+        breakers: Shared spec -> circuit breaker.
+        clock: The farm clock.
+        retry: Backoff policy.
+        report: The farm's report (mutated in place).
+        config: Farm policy (quality floor, outage cost).
+        costs: Cost report for wasted compute; assigned by the farm after
+            the service exists.
+    """
+
+    def __init__(
+        self,
+        ladder: Sequence[str],
+        pool: Dict[str, Transcoder],
+        breakers: Dict[str, CircuitBreaker],
+        clock: SimClock,
+        retry: RetryPolicy,
+        report: RobustnessReport,
+        config: FarmConfig,
+        costs: Optional[CostReport] = None,
+    ) -> None:
+        if not ladder:
+            raise ValueError("a resilient transcoder needs at least one rung")
+        self.ladder = list(ladder)
+        self.pool = pool
+        self.breakers = breakers
+        self.clock = clock
+        self.retry = retry
+        self.report = report
+        self.config = config
+        self.costs = costs
+        self.name = f"resilient({self.ladder[0]})"
+        self._budget_s: Optional[float] = None
+
+    def set_budget(self, budget_s: Optional[float]) -> None:
+        """Deadline budget applied to each subsequent ``transcode`` call."""
+        self._budget_s = budget_s
+
+    # -- internals ------------------------------------------------------------
+
+    def _book_waste(self, seconds: float) -> None:
+        self.report.wasted_compute_s += seconds
+        if self.costs is not None:
+            self.costs.add_compute(seconds)
+
+    def _adapt_rate(self, spec: str, rate: RateSpec) -> RateSpec:
+        """Hardware rungs have no two-pass mode; fall back to single pass."""
+        backend = spec.partition(":")[0]
+        if backend in HARDWARE_BACKENDS and rate.two_pass:
+            return RateSpec.for_bitrate(rate.bitrate_bps, two_pass=False)
+        return rate
+
+    def _downgrade(self, job: str, index: int, reason: str) -> None:
+        """Record the fall from rung ``index`` to the next one."""
+        self.report.downgrades.append(
+            DowngradeEvent(
+                job=job,
+                from_spec=self.ladder[index],
+                to_spec=self.ladder[index + 1],
+                reason=reason,
+            )
+        )
+
+    # -- the resilient call ----------------------------------------------------
+
+    def transcode(self, video: Video, rate: RateSpec) -> TranscodeResult:
+        budget = DeadlineBudget(self.clock, self._budget_s)
+        last_reason = "no rung admitted the job"
+        for index, spec in enumerate(self.ladder):
+            last_rung = index == len(self.ladder) - 1
+            breaker = self.breakers[spec]
+            # The final rung is the last resort: it runs even through an
+            # open breaker, because refusing it means losing the job.
+            if not last_rung and not breaker.allow(self.clock.now):
+                self._downgrade(video.name, index, "breaker-open")
+                last_reason = f"{spec}: circuit open"
+                continue
+            transcoder = self.pool[spec]
+            adapted = self._adapt_rate(spec, rate)
+            failures = 0
+            while True:
+                self.report.attempts += 1
+                try:
+                    result = transcoder.transcode(video, adapted)
+                except BackendOutage as fault:
+                    self.clock.advance(self.config.outage_detect_s)
+                    breaker.record_failure(self.clock.now)
+                    self.report.outage_failures += 1
+                    last_reason = str(fault)
+                except TransientFault as fault:
+                    self.clock.advance(fault.wasted_seconds)
+                    self._book_waste(fault.wasted_seconds)
+                    breaker.record_failure(self.clock.now)
+                    self.report.transient_failures += 1
+                    last_reason = str(fault)
+                else:
+                    self.clock.advance(result.seconds)
+                    if result.quality_db < self.config.quality_floor_db:
+                        # Corrupted output: the compute is spent, the
+                        # bytes are garbage.
+                        self._book_waste(result.seconds)
+                        breaker.record_failure(self.clock.now)
+                        self.report.corrupt_detected += 1
+                        last_reason = (
+                            f"{spec}: output quality "
+                            f"{result.quality_db:.1f} dB below floor"
+                        )
+                    else:
+                        breaker.record_success()
+                        if budget.exceeded:
+                            self.report.deadline_misses += 1
+                        return result
+                failures += 1
+                if failures >= self.retry.max_attempts:
+                    if not last_rung:
+                        self._downgrade(video.name, index, "retries-exhausted")
+                    break
+                delay = self.retry.backoff_s(failures, key=spec)
+                if not budget.allows(delay):
+                    self.report.deadline_retry_skips += 1
+                    if not last_rung:
+                        self._downgrade(video.name, index, "deadline")
+                    break
+                self.clock.advance(delay)
+                self.report.retries += 1
+        raise FarmJobError(video.name, last_reason)
+
+
+class _FarmService(SharingService):
+    """Sharing service whose Popular promotions survive backend failure.
+
+    A failed promotion is dead-lettered and the record stays unpromoted
+    (it will be retried the next time its view count crosses the
+    threshold check), instead of aborting the whole view batch.
+    """
+
+    def __init__(self, farm: "TranscodeFarm", **kwargs) -> None:
+        super().__init__(**kwargs)
+        self._farm = farm
+
+    def _promote(self, record: VideoRecord) -> None:
+        farm = self._farm
+        farm._popular.set_budget(
+            farm.config.deadlines.budget_s(record.video, Scenario.POPULAR)
+        )
+        try:
+            super()._promote(record)
+        except FarmJobError as error:
+            farm.report.dead_letters.append(
+                DeadLetter(job=record.name, stage="promote", reason=error.reason)
+            )
+
+    def serve_views(self, views_by_name: Dict[str, int]) -> List[str]:
+        promoted = super().serve_views(views_by_name)
+        # A swallowed promotion failure leaves the record unpromoted; only
+        # report the promotions that actually happened.
+        return [name for name in promoted if self.catalog[name].popular]
+
+
+class TranscodeFarm:
+    """N simulated workers running the sharing service with fault tolerance.
+
+    Args:
+        delivery_backend: Preferred backend spec for universal + delivery
+            transcodes (rung 0 of its degradation ladder).
+        popular_backend: Preferred backend spec for Popular re-transcodes.
+        config: Farm robustness policy.
+        service_config: Sharing-service policy knobs.
+        cost_model: Unit prices for the cost report.
+        fault_plan: Faults to inject; ``None`` runs the farm fault-free
+            (the control arm of a chaos experiment).
+    """
+
+    def __init__(
+        self,
+        delivery_backend: str = "x264:medium",
+        popular_backend: str = "x264:veryslow",
+        config: Optional[FarmConfig] = None,
+        service_config: Optional[ServiceConfig] = None,
+        cost_model: Optional[CostModel] = None,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
+        self.config = config or FarmConfig()
+        self.fault_plan = fault_plan
+        self.clock = SimClock()
+        self.report = RobustnessReport()
+        ladders = {
+            "delivery": degradation_ladder(
+                delivery_backend,
+                self.config.preset_fallbacks,
+                self.config.hardware_fallback,
+            ),
+            "popular": degradation_ladder(
+                popular_backend,
+                self.config.preset_fallbacks,
+                self.config.hardware_fallback,
+            ),
+        }
+        self.pool: Dict[str, Transcoder] = {}
+        self.breakers: Dict[str, CircuitBreaker] = {}
+        for spec in sorted(set(ladders["delivery"]) | set(ladders["popular"])):
+            backend = get_transcoder(spec)
+            if fault_plan is not None:
+                backend = FaultyTranscoder(backend, fault_plan, key=spec)
+            self.pool[spec] = backend
+            self.breakers[spec] = CircuitBreaker(
+                failure_threshold=self.config.breaker_failure_threshold,
+                cooldown_s=self.config.breaker_cooldown_s,
+                half_open_probes=self.config.breaker_half_open_probes,
+            )
+        self._delivery = self._adapter(ladders["delivery"])
+        self._popular = self._adapter(ladders["popular"])
+        self.service = _FarmService(
+            farm=self,
+            delivery_backend=self._delivery,
+            popular_backend=self._popular,
+            config=service_config,
+            cost_model=cost_model,
+        )
+        # The service owns the cost report; wire it back so the adapters
+        # can book wasted compute into the same ledger.
+        self._delivery.costs = self.service.costs
+        self._popular.costs = self.service.costs
+        self._workers = [0.0] * self.config.workers
+
+    def _adapter(self, ladder: Sequence[str]) -> ResilientTranscoder:
+        return ResilientTranscoder(
+            ladder=ladder,
+            pool=self.pool,
+            breakers=self.breakers,
+            clock=self.clock,
+            retry=self.config.retry,
+            report=self.report,
+            config=self.config,
+        )
+
+    @property
+    def costs(self) -> CostReport:
+        return self.service.costs
+
+    @property
+    def catalog(self) -> Dict[str, VideoRecord]:
+        return self.service.catalog
+
+    # -- ingest ---------------------------------------------------------------
+
+    def upload(self, video: Video, live: bool = False) -> Optional[VideoRecord]:
+        """Ingest one video on the least-busy worker.
+
+        Returns the catalog record, or ``None`` if the job exhausted its
+        ladder and was dead-lettered (the farm never raises for a fault).
+        """
+        worker = min(range(len(self._workers)), key=self._workers.__getitem__)
+        self.clock.seek(self._workers[worker])
+        self.report.jobs_total += 1
+        scenario = Scenario.LIVE if live else Scenario.VOD
+        self._delivery.set_budget(self.config.deadlines.budget_s(video, scenario))
+        try:
+            record = self.service.upload(video, live=live)
+            self.report.jobs_completed += 1
+            return record
+        except FarmJobError as error:
+            self.report.dead_letters.append(
+                DeadLetter(job=video.name, stage="upload", reason=error.reason)
+            )
+            return None
+        finally:
+            self._workers[worker] = self.clock.now
+
+    def upload_all(
+        self, videos: Sequence[Video], live: bool = False
+    ) -> List[VideoRecord]:
+        """Upload a batch; returns the records that completed."""
+        records = [self.upload(video, live=live) for video in videos]
+        return [record for record in records if record is not None]
+
+    # -- viewing --------------------------------------------------------------
+
+    def serve_views(self, views_by_name: Dict[str, int]) -> List[str]:
+        """Serve playbacks; failed promotions dead-letter, views survive."""
+        return self.service.serve_views(views_by_name)
+
+    def simulate_views(self, total_views: int, seed: int = 0) -> List[str]:
+        """Draw views from the popularity model over the catalog."""
+        return self.service.simulate_views(total_views, seed=seed)
+
+    # -- reporting ------------------------------------------------------------
+
+    def finalize(self) -> RobustnessReport:
+        """Snapshot breaker states and timing into the report."""
+        report = self.report
+        report.makespan_s = max(self._workers + [self.clock.now])
+        report.breaker_states = {
+            spec: breaker.state.value for spec, breaker in self.breakers.items()
+        }
+        report.breaker_failures = {
+            spec: breaker.consecutive_failures
+            for spec, breaker in self.breakers.items()
+        }
+        report.injected = {
+            spec: backend.injected
+            for spec, backend in self.pool.items()
+            if isinstance(backend, FaultyTranscoder)
+        }
+        return report
+
+    def breaker_state(self, spec: str) -> BreakerState:
+        """Current breaker state for one backend spec."""
+        return self.breakers[spec].state

@@ -21,7 +21,7 @@ just read.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -147,15 +147,19 @@ class SharingService:
         Each view egresses the delivery copy.  Crossing the popularity
         threshold triggers the high-effort re-transcode: smaller bytes for
         every later view, storage for one more replica, compute once.
+
+        The batch is validated up front: a negative count or unknown name
+        rejects the whole request before any record is mutated or any cost
+        is booked, so a bad entry cannot leave the catalog half-updated.
         """
-        promoted: List[str] = []
         for name, views in views_by_name.items():
             if views < 0:
                 raise ValueError(f"negative views for {name!r}")
-            try:
-                record = self.catalog[name]
-            except KeyError:
-                raise KeyError(f"unknown video {name!r}") from None
+            if name not in self.catalog:
+                raise KeyError(f"unknown video {name!r}")
+        promoted: List[str] = []
+        for name, views in views_by_name.items():
+            record = self.catalog[name]
             record.views += views
             egress = views * record.delivery_bytes
             record.egress_bytes += egress

@@ -1,0 +1,50 @@
+"""A simulated clock: the farm's single source of time.
+
+Everything in :mod:`repro.robust` is deterministic — fault draws come from
+seeded RNGs, and *time* comes from this clock rather than the wall.  A
+transcode "takes" its modeled ``seconds`` by advancing the clock; a retry
+backoff "sleeps" the same way.  Chaos experiments therefore replay
+byte-identically under the same seed, and tests can assert on exact
+timelines.
+
+The farm simulates N parallel workers on one interpreter thread by
+*seeking* the clock to each worker's frontier before running its next job
+(see :class:`repro.pipeline.farm.TranscodeFarm`), so time is monotonic
+per worker but not globally — the same relaxation a distributed farm's
+per-node clocks exhibit.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SimClock"]
+
+
+class SimClock:
+    """Simulated seconds since the start of the experiment."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"clock cannot start negative, got {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Spend ``seconds`` of simulated time; returns the new time."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance by negative time, got {seconds}")
+        self._now += seconds
+        return self._now
+
+    def seek(self, when: float) -> float:
+        """Jump to absolute time ``when`` (a worker's frontier)."""
+        if when < 0:
+            raise ValueError(f"cannot seek to negative time, got {when}")
+        self._now = float(when)
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.6f})"

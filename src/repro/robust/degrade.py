@@ -1,0 +1,104 @@
+"""Graceful degradation: trade quality for survival, and write it down.
+
+When a backend's circuit opens, retries exhaust, or the deadline budget
+shrinks below another attempt, the job does not die — it *degrades*:
+
+1. the configured preset falls to progressively faster presets of the
+   same software backend (each rung spends less compute per attempt, so a
+   shrinking budget still fits), then
+2. the hardware model takes over as the last resort — the paper's own
+   trade (Section 5.3): bitrate sacrificed for guaranteed throughput.
+
+Every step down the ladder is recorded as a :class:`DowngradeEvent`, so a
+chaos report can say exactly which videos shipped at reduced effort and
+why — a silent quality regression is a bug, an audited one is a policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.codec.presets import PRESETS
+from repro.encoders.registry import BACKENDS, HARDWARE_BACKENDS, available_backends
+
+__all__ = ["DowngradeEvent", "degradation_ladder"]
+
+#: Default preset each software backend runs when the spec names none
+#: (mirrors the registry factories' defaults).
+_DEFAULT_PRESETS = {"x264": "medium", "x265": "veryslow", "vp9": "veryslow", "av1": "veryslow"}
+
+#: Fallback presets tried in order once the configured rung fails; each is
+#: used only if it is strictly faster than the configured preset.
+DEFAULT_PRESET_FALLBACKS = ("medium", "veryfast", "ultrafast")
+
+
+@dataclass(frozen=True)
+class DowngradeEvent:
+    """One recorded step down the ladder.
+
+    Attributes:
+        job: Name of the video whose transcode degraded.
+        from_spec: The rung that was abandoned.
+        to_spec: The rung the job fell to.
+        reason: Why — ``"breaker-open"``, ``"retries-exhausted"``, or
+            ``"deadline"``.
+    """
+
+    job: str
+    from_spec: str
+    to_spec: str
+    reason: str
+
+
+def degradation_ladder(
+    spec: str,
+    preset_fallbacks: Sequence[str] = DEFAULT_PRESET_FALLBACKS,
+    hardware_fallback: Optional[str] = "qsv",
+) -> List[str]:
+    """The ordered backend specs a job for ``spec`` may fall through.
+
+    The configured spec is always rung 0.  Software backends then fall to
+    any ``preset_fallbacks`` strictly faster (earlier in the preset
+    ladder) than the configured preset, and finally to
+    ``hardware_fallback``.  A hardware spec is its own whole ladder — it
+    is already the floor.
+
+    >>> degradation_ladder("x264:veryslow")
+    ['x264:veryslow', 'x264:medium', 'x264:veryfast', 'x264:ultrafast', 'qsv']
+    """
+    name, _, preset_name = spec.partition(":")
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {name!r}; expected one of {available_backends()}"
+        )
+    if name in HARDWARE_BACKENDS:
+        if preset_name:
+            raise ValueError(f"{name} does not take a preset (got {preset_name!r})")
+        return [spec]
+    preset_name = preset_name or _DEFAULT_PRESETS.get(name, "medium")
+    order = list(PRESETS)  # ultrafast (fastest) .. placebo (slowest)
+    if preset_name not in order:
+        raise ValueError(
+            f"unknown preset {preset_name!r} for backend {name!r}; "
+            f"expected one of {sorted(PRESETS)}"
+        )
+    current = order.index(preset_name)
+    ladder = [spec]
+    for fallback in preset_fallbacks:
+        if fallback not in order:
+            raise ValueError(
+                f"unknown fallback preset {fallback!r}; "
+                f"expected one of {sorted(PRESETS)}"
+            )
+        if order.index(fallback) < current:
+            ladder.append(f"{name}:{fallback}")
+    if hardware_fallback is not None:
+        hw_name = hardware_fallback.partition(":")[0]
+        if hw_name not in HARDWARE_BACKENDS:
+            raise ValueError(
+                f"hardware fallback must be one of {sorted(HARDWARE_BACKENDS)}, "
+                f"got {hardware_fallback!r}"
+            )
+        ladder.append(hardware_fallback)
+    return ladder

@@ -13,7 +13,7 @@ object (what an encode actually did) into the numbers the paper reports:
 
 from __future__ import annotations
 
-from typing import Dict, Mapping
+from typing import Dict
 
 from repro.codec.instrumentation import Counters
 from repro.simd.isa import ISA_LADDER, IsaLevel

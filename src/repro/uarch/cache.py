@@ -14,7 +14,6 @@ Python-object overhead per access.
 
 from __future__ import annotations
 
-from typing import Tuple
 
 import numpy as np
 

@@ -21,7 +21,7 @@ measured entropy are:
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 from scipy import ndimage

@@ -101,3 +101,33 @@ class TestSuiteCommands:
             ["run", "--profile", "tiny", "--k", "2", "--seed", "7",
              "--scenario", "live", "--backend", "av9000"]
         ) == 2
+
+
+class TestChaos:
+    ARGS = ["chaos", "--profile", "tiny", "--k", "3", "--seed", "99",
+            "--delivery-backend", "x264:veryslow",
+            "--fault-seed", "4", "--crash-rate", "0.3",
+            "--straggler-rate", "0.05", "--corrupt-rate", "0.05",
+            "--dead", "x264:veryslow", "--views", "500"]
+
+    def test_runs_and_reports(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "RobustnessReport" in out
+        assert "x264:veryslow: open" in out  # the dead backend's breaker
+        assert "compute-hours" in out
+
+    def test_same_seed_is_byte_identical(self, capsys):
+        assert main(self.ARGS) == 0
+        first = capsys.readouterr().out
+        assert main(self.ARGS) == 0
+        assert capsys.readouterr().out == first
+
+    def test_dead_everything_fails_gracefully(self, capsys):
+        dead = []
+        for spec in ("x264:veryslow", "x264:medium", "x264:veryfast",
+                     "x264:ultrafast", "qsv"):
+            dead += ["--dead", spec]
+        assert main(["chaos", "--profile", "tiny", "--k", "2", "--seed", "99",
+                     "--views", "0"] + dead) == 0
+        assert "0 completed, 2 dead-lettered" in capsys.readouterr().out

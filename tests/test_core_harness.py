@@ -11,6 +11,46 @@ from repro.simd.isa import IsaLevel
 from repro.video.synthesis import synthesize
 
 
+def _scripted_backend(qualities):
+    """A stub transcoder replaying a fixed quality per call, in order.
+
+    ``compressed_bytes`` mirrors the requested bitrate so tests can tell
+    which attempt the bisection returned.
+    """
+    from repro.codec.instrumentation import Counters
+    from repro.encoders.base import Transcoder, TranscodeResult
+
+    class _Result(TranscodeResult):
+        scripted_quality = 0.0
+
+        @property
+        def quality_db(self):
+            return self.scripted_quality
+
+    class _Scripted(Transcoder):
+        name = "scripted"
+
+        def __init__(self):
+            self.calls = 0
+
+        def transcode(self, video, rate):
+            quality = qualities[min(self.calls, len(qualities) - 1)]
+            self.calls += 1
+            result = _Result(
+                source=video,
+                output=video,
+                compressed_bytes=int(rate.bitrate_bps),
+                seconds=1e-3,
+                wall_seconds=0.0,
+                counters=Counters(),
+                backend=self.name,
+            )
+            result.scripted_quality = quality
+            return result
+
+    return _Scripted()
+
+
 @pytest.fixture(scope="module")
 def suite():
     """A 3-video mini-suite built from real synthesized content."""
@@ -116,6 +156,54 @@ class TestBisection:
             bisect_to_quality(
                 X264Transcoder(), suite.videos[0].video, 40.0, 1e5, iterations=0
             )
+        for bad in (float("nan"), float("inf")):
+            with pytest.raises(ValueError, match="finite"):
+                bisect_to_quality(
+                    X264Transcoder(), suite.videos[0].video, 40.0, bad
+                )
+
+
+class TestBisectionEdgeCases:
+    """Scripted backends pin down the bracket/bisect corner behavior."""
+
+    def test_single_iteration_returns_initial_result(self, suite):
+        backend = _scripted_backend([45.0])
+        result = bisect_to_quality(
+            backend, suite.videos[0].video, 40.0, initial_bitrate=1e5,
+            iterations=1,
+        )
+        assert backend.calls == 1
+        assert result.compressed_bytes == int(1e5)
+
+    def test_never_reaches_target_reports_best_try(self, suite):
+        # Quality never crosses 40 dB no matter the bitrate: the bisection
+        # must hand back its last upward-bracketing attempt rather than
+        # raise or return None (the caller's constraint check then fails
+        # the video, which is itself a result).
+        backend = _scripted_backend([20.0, 25.0, 30.0, 31.0])
+        result = bisect_to_quality(
+            backend, suite.videos[0].video, 40.0, initial_bitrate=1e5,
+            iterations=4,
+        )
+        assert backend.calls == 4
+        assert result.quality_db < 40.0
+        # Each bracket step doubled the rate: the report is the 8e5 try.
+        assert result.compressed_bytes == int(8e5)
+
+    def test_non_monotonic_quality_keeps_cheapest_passing(self, suite):
+        # Quality dips below target at the halved rate, then a bisection
+        # probe passes again: the best-so-far tracking must return the
+        # cheapest encode that satisfied the target, not the last one.
+        backend = _scripted_backend([45.0, 30.0, 45.0, 30.0])
+        result = bisect_to_quality(
+            backend, suite.videos[0].video, 40.0, initial_bitrate=1e5,
+            iterations=4,
+        )
+        assert backend.calls == 4
+        assert result.quality_db >= 40.0
+        # Passing encodes happened at 1e5 and the 7.5e4 midpoint; the
+        # midpoint is smaller, so it wins.
+        assert result.compressed_bytes == int(7.5e4)
 
 
 class TestRunScenario:

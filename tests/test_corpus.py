@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.corpus.category import STANDARD_RESOLUTIONS, VideoCategory, feature_matrix
+from repro.corpus.category import VideoCategory, feature_matrix
 from repro.corpus.datasets import PUBLIC_DATASETS, coverage_set, dataset_categories
 from repro.corpus.synthetic import (
     PROFILES,

@@ -6,13 +6,11 @@ encoder used as its reference chain.  Any drift there corrupts every
 downstream frame.
 """
 
-import numpy as np
 import pytest
 
 from repro.codec.decoder import decode
 from repro.codec.encoder import EncodeResult, encode
 from repro.codec.presets import PRESETS, preset
-from repro.codec.ratecontrol import RateControl
 from repro.codec.types import FrameType
 from repro.metrics.psnr import psnr
 from repro.video.frame import Frame

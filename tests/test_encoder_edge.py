@@ -1,7 +1,5 @@
 """Encoder/decoder edge cases beyond the core invariants."""
 
-import numpy as np
-import pytest
 
 from repro.codec.decoder import decode
 from repro.codec.encoder import encode

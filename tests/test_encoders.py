@@ -45,6 +45,13 @@ class TestRateSpec:
         with pytest.raises(ValueError):
             RateSpec(kind="abr", bitrate_bps=0)
 
+    def test_non_finite_rejected(self):
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError):
+                RateSpec.for_bitrate(bad)
+            with pytest.raises(ValueError):
+                RateSpec(kind="crf", crf=bad)
+
 
 class TestRegistry:
     def test_all_backends_constructible(self):
@@ -61,6 +68,20 @@ class TestRegistry:
     def test_hardware_rejects_preset(self):
         with pytest.raises(ValueError):
             get_transcoder("nvenc:fast")
+
+    def test_available_backends(self):
+        from repro.encoders.registry import available_backends
+
+        names = available_backends()
+        assert names == sorted(BACKENDS)
+        assert "x264" in names and "qsv" in names
+
+    def test_unknown_preset_lists_valid_ones(self):
+        with pytest.raises(ValueError) as info:
+            get_transcoder("x264:warp9")
+        message = str(info.value)
+        assert "x264" in message
+        assert "ultrafast" in message and "veryslow" in message
 
 
 class TestTranscodeResult:
@@ -80,7 +101,6 @@ class TestSoftwareOrderings:
     """Figure 2's qualitative content, as assertions."""
 
     def test_newer_codecs_compress_better(self, clip):
-        target_db = None
         sizes = {}
         for backend in (X264Transcoder("veryslow"), X265Transcoder(), VP9Transcoder()):
             result = backend.transcode(clip, RateSpec.for_crf(26))

@@ -1,0 +1,233 @@
+"""TranscodeFarm: chaos determinism, survival, degradation, dead letters."""
+
+import pytest
+
+from repro.pipeline.farm import FarmConfig, TranscodeFarm
+from repro.pipeline.service import ServiceConfig
+from repro.robust.breaker import BreakerState
+from repro.robust.faults import FaultPlan
+from repro.robust.retry import DeadlinePolicy, RetryPolicy
+from repro.video.synthesis import synthesize
+
+CONTENTS = ["natural", "screencast", "gaming", "sports"]
+
+
+def make_clips():
+    return [
+        synthesize(content, 48, 32, 6, 12.0, seed=60 + i, name=f"v{i}")
+        for i, content in enumerate(CONTENTS)
+    ]
+
+
+def run_farm(fault_plan=None, views=500, config=None, **farm_kwargs):
+    farm = TranscodeFarm(
+        delivery_backend=farm_kwargs.pop("delivery_backend", "x264:veryslow"),
+        popular_backend=farm_kwargs.pop("popular_backend", "x264:veryslow"),
+        config=config or FarmConfig(workers=2),
+        service_config=ServiceConfig(popular_threshold_views=100),
+        fault_plan=fault_plan,
+        **farm_kwargs,
+    )
+    farm.upload_all(make_clips())
+    if views:
+        farm.simulate_views(views, seed=3)
+    farm.finalize()
+    return farm
+
+
+CHAOS_PLAN = FaultPlan(
+    seed=42,
+    crash_rate=0.3,
+    straggler_rate=0.05,
+    corrupt_rate=0.05,
+    dead_backends=frozenset({"x264:veryslow"}),
+)
+
+
+@pytest.fixture(scope="module")
+def fault_free():
+    return run_farm()
+
+
+@pytest.fixture(scope="module")
+def chaotic():
+    return run_farm(fault_plan=CHAOS_PLAN)
+
+
+class TestFaultFreeFarm:
+    def test_all_jobs_complete_cleanly(self, fault_free):
+        report = fault_free.report
+        assert report.jobs_total == len(CONTENTS)
+        assert report.jobs_completed == report.jobs_total
+        assert report.retries == 0
+        assert report.downgrades == []
+        assert report.dead_letters == []
+        assert report.wasted_compute_s == 0.0
+
+    def test_attempts_equal_transcodes(self, fault_free):
+        # Two transcodes per upload (universal + delivery) plus one per
+        # promotion: no attempt is ever wasted fault-free.
+        promotions = sum(
+            1 for record in fault_free.catalog.values() if record.popular
+        )
+        assert fault_free.report.attempts == 2 * len(CONTENTS) + promotions
+
+    def test_breakers_stay_closed(self, fault_free):
+        assert set(fault_free.report.breaker_states.values()) == {"closed"}
+
+    def test_makespan_reflects_parallelism(self, fault_free):
+        # Two workers: the farm finishes faster than the serial sum.
+        assert 0 < fault_free.report.makespan_s < fault_free.costs.compute_hours * 3600
+
+
+class TestChaosSurvival:
+    """The acceptance criteria: survive 30% transients + a dead backend."""
+
+    def test_all_uploads_complete(self, chaotic):
+        report = chaotic.report
+        assert report.jobs_completed == report.jobs_total == len(CONTENTS)
+        assert not any(l.stage == "upload" for l in report.dead_letters)
+        assert set(chaotic.catalog) == {f"v{i}" for i in range(len(CONTENTS))}
+
+    def test_dead_backend_breaker_ends_open(self, chaotic):
+        assert chaotic.report.breaker_states["x264:veryslow"] == "open"
+        assert chaotic.breaker_state("x264:veryslow") is BreakerState.OPEN
+
+    def test_faults_were_actually_injected_and_handled(self, chaotic):
+        report = chaotic.report
+        assert report.outage_failures > 0
+        assert report.transient_failures + report.corrupt_detected > 0
+        assert report.downgrades  # the dead rung forced degradation
+
+    def test_retry_compute_is_booked(self, chaotic, fault_free):
+        assert chaotic.report.wasted_compute_s > 0
+        assert chaotic.costs.compute_hours > fault_free.costs.compute_hours
+
+    def test_catalog_outputs_are_not_corrupted(self, chaotic):
+        # Every record that survived chaos holds a playable delivery copy.
+        for record in chaotic.catalog.values():
+            assert record.delivery_bytes > 0
+
+
+class TestChaosDeterminism:
+    def test_reports_are_byte_identical(self, chaotic):
+        again = run_farm(fault_plan=CHAOS_PLAN)
+        assert again.report.to_text() == chaotic.report.to_text()
+
+    def test_costs_are_identical(self, chaotic):
+        again = run_farm(fault_plan=CHAOS_PLAN)
+        assert again.costs.breakdown() == chaotic.costs.breakdown()
+
+    def test_different_seed_differs(self, chaotic):
+        plan = FaultPlan(
+            seed=43,
+            crash_rate=0.3,
+            straggler_rate=0.05,
+            corrupt_rate=0.05,
+            dead_backends=frozenset({"x264:veryslow"}),
+        )
+        other = run_farm(fault_plan=plan)
+        assert other.report.to_text() != chaotic.report.to_text()
+
+
+class TestDeadLetters:
+    def test_total_outage_dead_letters_everything(self):
+        # Every rung of every ladder is down: jobs must fail *gracefully*.
+        plan = FaultPlan(
+            dead_backends=frozenset(
+                {
+                    "x264:veryslow",
+                    "x264:medium",
+                    "x264:veryfast",
+                    "x264:ultrafast",
+                    "qsv",
+                }
+            )
+        )
+        farm = run_farm(fault_plan=plan, views=0)
+        report = farm.report
+        assert report.jobs_completed == 0
+        assert report.jobs_dead_lettered == report.jobs_total == len(CONTENTS)
+        assert farm.catalog == {}  # nothing half-ingested
+        assert all(l.stage == "upload" for l in report.dead_letters)
+
+    def test_promotion_failure_is_dead_lettered_not_raised(self):
+        # Delivery rides an x265 ladder (alive); the entire x264 popular
+        # ladder is down, so promotions — and only promotions — fail.
+        farm = TranscodeFarm(
+            delivery_backend="x265:ultrafast",
+            popular_backend="x264:veryslow",
+            config=FarmConfig(workers=2, hardware_fallback=None),
+            service_config=ServiceConfig(popular_threshold_views=10),
+            fault_plan=FaultPlan(
+                dead_backends=frozenset(
+                    {
+                        "x264:veryslow",
+                        "x264:medium",
+                        "x264:veryfast",
+                        "x264:ultrafast",
+                    }
+                ),
+            ),
+        )
+        farm.upload_all(make_clips())
+        promoted = farm.serve_views({"v0": 50})  # crosses the threshold
+        farm.finalize()
+        assert promoted == []
+        assert not farm.catalog["v0"].popular
+        letters = [l for l in farm.report.dead_letters if l.stage == "promote"]
+        assert letters and letters[0].job == "v0"
+        # Views were still served despite the failed promotion.
+        assert farm.catalog["v0"].views == 50
+        assert farm.costs.egress_gb > 0
+
+
+class TestDeadlinesAndDegradation:
+    def test_live_straggler_storm_degrades_not_dies(self):
+        # Stragglers at 1000x on every rung: most transcodes land past the
+        # live (1x realtime) budget, but every job still completes.
+        plan = FaultPlan(seed=5, straggler_rate=0.9, straggler_factor=1000.0)
+        config = FarmConfig(
+            workers=1,
+            retry=RetryPolicy(max_attempts=2, base_delay_s=0.1),
+            deadlines=DeadlinePolicy(live_factor=1.0, batch_factor=60.0),
+        )
+        farm = TranscodeFarm(
+            delivery_backend="x264:veryslow",
+            config=config,
+            fault_plan=plan,
+        )
+        for clip in make_clips():
+            farm.upload(clip, live=True)
+        report = farm.finalize()
+        assert report.jobs_completed == report.jobs_total
+        # Stragglers landed: some transcodes finished past their budget.
+        assert report.deadline_misses > 0
+
+    def test_tiny_budget_skips_retries(self):
+        # A budget smaller than any backoff: after a failure the farm must
+        # degrade immediately instead of sleeping through the deadline.
+        plan = FaultPlan(seed=2, crash_rate=1.0, dead_backends=frozenset())
+        config = FarmConfig(
+            workers=1,
+            retry=RetryPolicy(max_attempts=4, base_delay_s=10.0, jitter=0.0),
+            deadlines=DeadlinePolicy(live_factor=1.0, batch_factor=1.0,
+                                     floor_s=0.05),
+        )
+        farm = TranscodeFarm(
+            delivery_backend="x264:medium", config=config, fault_plan=plan
+        )
+        farm.upload(make_clips()[0])
+        report = farm.finalize()
+        assert report.deadline_retry_skips > 0
+        assert report.retries == 0  # no backoff ever fit the budget
+
+
+class TestFarmConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FarmConfig(workers=0)
+        with pytest.raises(ValueError):
+            FarmConfig(quality_floor_db=-1)
+        with pytest.raises(ValueError):
+            FarmConfig(outage_detect_s=-0.1)

@@ -8,7 +8,6 @@ scale, asserting the qualitative results the paper reports.
 import pytest
 
 from repro import Scenario, run_scenario, vbench_suite
-from repro.core.benchmark import BenchmarkSuite
 
 
 @pytest.fixture(scope="module")

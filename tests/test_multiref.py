@@ -55,7 +55,6 @@ class TestBehaviour:
         encoder must code large residuals every frame; with two it can
         point at the matching picture.
         """
-        rng = np.random.default_rng(3)
         from scipy import ndimage
 
         def textured(seed):

@@ -97,6 +97,18 @@ class TestService:
         with pytest.raises(ValueError):
             service.serve_views({"up0": -1})
 
+    def test_bad_batch_mutates_nothing(self, service):
+        """Validation is all-or-nothing: a bad entry anywhere in the batch
+        leaves every record and every cost untouched."""
+        views_before = service.catalog["up0"].views
+        egress_before = service.costs.egress_gb
+        with pytest.raises(KeyError):
+            service.serve_views({"up0": 10, "nope": 1})
+        with pytest.raises(ValueError):
+            service.serve_views({"up0": 10, "up2": -5})
+        assert service.catalog["up0"].views == views_before
+        assert service.costs.egress_gb == egress_before
+
     def test_simulate_views(self, service):
         service.simulate_views(total_views=200, seed=1)
         assert sum(r.views for r in service.catalog.values()) > 0

@@ -8,7 +8,6 @@ from repro.simd import (
     KERNEL_SPECS,
     IsaLevel,
     amdahl_speedup_bound,
-    cycle_breakdown,
     cycles_per_unit,
     isa_breakdown,
     modeled_seconds,

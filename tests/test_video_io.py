@@ -2,7 +2,6 @@
 
 import io
 
-import numpy as np
 import pytest
 
 from repro.video.io import load_video, read_y4m, save_video, write_y4m

@@ -11,7 +11,7 @@ import pytest
 
 from repro.codec.decoder import decode
 from repro.codec.encoder import encode
-from repro.codec.types import BlockMode, FrameType
+from repro.codec.types import FrameType
 from repro.metrics.psnr import psnr
 from repro.video.synthesis import CONTENT_CLASSES, synthesize
 
@@ -56,10 +56,6 @@ class TestClassBehaviours:
         assert bits("gaming") > bits("screencast")
 
     def test_high_motion_uses_nonzero_vectors(self, clips):
-        from repro.codec.encoder import Encoder
-        from repro.codec.instrumentation import TraceRecorder
-        from repro.codec.ratecontrol import RateControl
-
         result = encode(clips["gaming"], config="medium", crf=30)
         # Motion content must not degenerate to all-skip or all-intra.
         p_stats = [s for s in result.stats if s.frame_type is FrameType.P]
