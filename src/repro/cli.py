@@ -5,6 +5,7 @@ script).  Commands:
 
 * ``suite``   -- build the suite and print its Table 2.
 * ``run``     -- score a backend under a scenario across the suite.
+* ``refs``    -- pre-compute scenario references (warm a transcode cache).
 * ``synth``   -- synthesize a clip of a content class to a Y4M file.
 * ``encode``  -- encode a Y4M file to a codec bitstream.
 * ``decode``  -- decode a bitstream back to Y4M.
@@ -13,7 +14,10 @@ script).  Commands:
 * ``chaos``   -- seeded fault-injection run of the transcoding farm.
 
 Every command prints human-readable rows to stdout and exits non-zero on
-invalid input, so the tools compose in shell pipelines.
+invalid input, so the tools compose in shell pipelines.  Diagnostics that
+must not perturb the stdout report -- transcode-cache statistics in
+particular -- go to stderr, so ``run --jobs 4 --cache DIR`` stays
+byte-identical to a serial, cacheless run.
 """
 
 from __future__ import annotations
@@ -48,6 +52,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="backend spec, e.g. x264:medium, x265, vp9, nvenc, qsv",
     )
     run.add_argument("--bisect-iterations", type=int, default=6)
+    _exec_args(run)
+
+    refs = sub.add_parser(
+        "refs", help="pre-compute scenario references (warms the cache)"
+    )
+    _suite_args(refs)
+    refs.add_argument(
+        "--scenario",
+        action="append",
+        default=[],
+        choices=["upload", "live", "vod", "popular", "platform"],
+        help="scenario to prime (repeatable; default: all)",
+    )
+    _exec_args(refs)
 
     synth = sub.add_parser("synth", help="synthesize a clip to Y4M")
     synth.add_argument("output", help="output .y4m path")
@@ -110,6 +128,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument("--views", type=int, default=5000)
     chaos.add_argument("--view-seed", type=int, default=0)
+    chaos.add_argument(
+        "--cache",
+        metavar="DIR",
+        help="persistent transcode cache directory",
+    )
     return parser
 
 
@@ -117,6 +140,29 @@ def _suite_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--profile", default="tiny")
     parser.add_argument("--k", type=int, default=15)
     parser.add_argument("--seed", type=int, default=2017)
+
+
+def _exec_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="videos processed concurrently (process pool)",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="DIR",
+        help="persistent transcode cache directory",
+    )
+
+
+def _open_cache(args):
+    """Build the TranscodeCache named by ``--cache``, if any."""
+    if not getattr(args, "cache", None):
+        return None
+    from repro.exec.cache import TranscodeCache
+
+    return TranscodeCache(args.cache)
 
 
 # ---------------------------------------------------------------------------
@@ -139,12 +185,15 @@ def _cmd_run(args) -> int:
     from repro.core.reporting import format_scores
     from repro.core.scenarios import Scenario
 
+    cache = _open_cache(args)
     suite = vbench_suite(profile=args.profile, k=args.k, seed=args.seed)
     report = run_scenario(
         suite,
         Scenario(args.scenario),
         args.backend,
         bisect_iterations=args.bisect_iterations,
+        jobs=args.jobs,
+        cache=cache,
     )
     print(
         format_scores(
@@ -152,6 +201,31 @@ def _cmd_run(args) -> int:
             title=f"scenario={args.scenario} backend={report.backend}",
         )
     )
+    if cache is not None:
+        print(report.cache_summary(), file=sys.stderr)
+    return 0
+
+
+def _cmd_refs(args) -> int:
+    from repro.core.benchmark import vbench_suite
+    from repro.core.scenarios import Scenario
+    from repro.exec.runner import prime_references
+
+    cache = _open_cache(args)
+    scenarios = (
+        [Scenario(s) for s in args.scenario]
+        if args.scenario
+        else list(Scenario)
+    )
+    suite = vbench_suite(profile=args.profile, k=args.k, seed=args.seed)
+    stats = prime_references(suite, scenarios, jobs=args.jobs, cache=cache)
+    names = ",".join(s.value for s in scenarios)
+    print(
+        f"primed {len(scenarios) * len(suite)} references "
+        f"({len(suite)} videos x {names})"
+    )
+    if cache is not None:
+        print(stats.to_line(), file=sys.stderr)
     return 0
 
 
@@ -280,6 +354,7 @@ def _cmd_chaos(args) -> int:
         popular_backend=args.popular_backend,
         config=FarmConfig(workers=args.workers),
         fault_plan=plan,
+        cache=_open_cache(args),
     )
     suite = vbench_suite(profile=args.profile, k=args.k, seed=args.seed)
     for index, entry in enumerate(suite.videos):
@@ -293,12 +368,20 @@ def _cmd_chaos(args) -> int:
     for category, dollars in sorted(farm.costs.breakdown().items()):
         print(f"  {category:<8} ${dollars:.6f}")
     print(f"  compute-hours {farm.costs.compute_hours:.9f}")
+    if farm.costs.cache is not None:
+        print(farm.costs.cache.to_line(), file=sys.stderr)
+        print(
+            f"compute-hours saved by cache: "
+            f"{farm.costs.compute_hours_saved:.9f}",
+            file=sys.stderr,
+        )
     return 0
 
 
 _COMMANDS = {
     "suite": _cmd_suite,
     "run": _cmd_run,
+    "refs": _cmd_refs,
     "synth": _cmd_synth,
     "encode": _cmd_encode,
     "decode": _cmd_decode,

@@ -11,7 +11,7 @@ reporting rules require (Section 4.3: report per video; do not average).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.corpus.synthetic import PROFILES, RenderProfile, SyntheticCorpus
 from repro.encoders.base import Transcoder, TranscodeResult
@@ -24,6 +24,9 @@ from repro.core.harness import candidate_for_scenario
 from repro.core.reference import ReferenceStore
 from repro.core.scenarios import Scenario, ScenarioScore, score_scenario
 from repro.core.selection import SelectedVideo, select_suite_videos
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.exec.cache import CacheStats, TranscodeCache
 
 __all__ = [
     "SuiteVideo",
@@ -49,14 +52,21 @@ class SuiteVideo:
 
 @dataclass
 class BenchmarkSuite:
-    """The selected suite plus its shared reference store."""
+    """The selected suite plus its own (non-shared) reference store.
 
-    videos: List[SuiteVideo]
+    ``videos`` is stored as a tuple: the membership of a built suite is
+    immutable, so no caller can perturb another's view of it.  Each suite
+    carries a *fresh* :class:`ReferenceStore` -- references accumulated
+    by one run never leak into an unrelated one.
+    """
+
+    videos: Sequence[SuiteVideo]
     profile: RenderProfile
     seed: int
     references: ReferenceStore = field(default_factory=ReferenceStore)
 
     def __post_init__(self) -> None:
+        self.videos = tuple(self.videos)
         if not self.videos:
             raise ValueError("a benchmark suite needs at least one video")
 
@@ -82,7 +92,11 @@ class BenchmarkSuite:
         ]
 
 
-_SUITE_CACHE: Dict[Tuple[str, int, int], BenchmarkSuite] = {}
+#: Caches the *selection* (the expensive part: k-means plus real encodes
+#: for entropy re-measurement), never a built suite.  Every vbench_suite()
+#: call assembles a fresh BenchmarkSuite around the cached selection, so
+#: no two callers ever share a mutable suite or reference store.
+_SELECTION_CACHE: Dict[Tuple[str, int, int], Tuple[SelectedVideo, ...]] = {}
 
 
 def vbench_suite(
@@ -91,7 +105,7 @@ def vbench_suite(
     seed: int = 2017,
     corpus: Optional[SyntheticCorpus] = None,
 ) -> BenchmarkSuite:
-    """Build (or fetch the cached) vbench suite.
+    """Build the vbench suite (selection cached, suite always isolated).
 
     Args:
         profile: Rendering profile name (``tiny``/``fast``/``bench``/
@@ -100,25 +114,33 @@ def vbench_suite(
         k: Number of videos (the paper uses 15).
         seed: Corpus + selection seed.
         corpus: Optionally reuse an existing corpus (skips regeneration;
-            such suites are not cached).
+            such selections are not cached).
+
+    Returns a *new* :class:`BenchmarkSuite` on every call: the selected
+    videos are shared (they are immutable and expensive to recompute) but
+    the suite object and its :class:`ReferenceStore` are fresh, so one
+    caller's accumulated references and mutations cannot leak into
+    another's run.
     """
-    key = (profile, k, seed)
-    if corpus is None and key in _SUITE_CACHE:
-        return _SUITE_CACHE[key]
     if profile not in PROFILES:
         raise ValueError(
             f"unknown profile {profile!r}; expected one of {sorted(PROFILES)}"
         )
-    corpus_obj = corpus or SyntheticCorpus(seed=seed)
-    selected = select_suite_videos(corpus_obj, k=k, profile=profile, seed=seed)
-    suite = BenchmarkSuite(
-        videos=[_suite_video(s) for s in selected],
+    key = (profile, k, seed)
+    if corpus is None and key in _SELECTION_CACHE:
+        selected = _SELECTION_CACHE[key]
+    else:
+        corpus_obj = corpus or SyntheticCorpus(seed=seed)
+        selected = tuple(
+            select_suite_videos(corpus_obj, k=k, profile=profile, seed=seed)
+        )
+        if corpus is None:
+            _SELECTION_CACHE[key] = selected
+    return BenchmarkSuite(
+        videos=tuple(_suite_video(s) for s in selected),
         profile=PROFILES[profile],
         seed=seed,
     )
-    if corpus is None:
-        _SUITE_CACHE[key] = suite
-    return suite
 
 
 def _suite_video(selected: SelectedVideo) -> SuiteVideo:
@@ -134,13 +156,20 @@ def _suite_video(selected: SelectedVideo) -> SuiteVideo:
 
 @dataclass
 class ScenarioReport:
-    """Per-video scenario results for one backend (Section 4.3 format)."""
+    """Per-video scenario results for one backend (Section 4.3 format).
+
+    ``cache`` carries the transcode-cache statistics of the run that
+    produced this report (``None`` when no cache was in play).  It is
+    deliberately *not* part of :meth:`to_table`: the score table must be
+    byte-identical between serial, parallel, cold- and warm-cache runs.
+    """
 
     scenario: Scenario
     backend: str
     scores: List[ScenarioScore]
     candidates: List[TranscodeResult]
     references: List[TranscodeResult]
+    cache: Optional["CacheStats"] = None
 
     def to_table(self) -> str:
         """ASCII table: one row per video, ratios and score (or '-')."""
@@ -160,19 +189,55 @@ class ScenarioReport:
         """Scores of the videos that met the constraint."""
         return [s.score for s in self.scores if s.score is not None]
 
+    def cache_summary(self) -> str:
+        """One deterministic line of cache statistics (or a placeholder)."""
+        if self.cache is None:
+            return "cache: disabled"
+        return self.cache.to_line()
+
 
 def run_scenario(
     suite: BenchmarkSuite,
     scenario: Scenario,
     backend: Union[str, Transcoder],
     bisect_iterations: int = 7,
+    jobs: int = 1,
+    cache: Optional["TranscodeCache"] = None,
 ) -> ScenarioReport:
-    """Score ``backend`` under ``scenario`` on every suite video."""
+    """Score ``backend`` under ``scenario`` on every suite video.
+
+    Args:
+        jobs: Videos scored concurrently.  ``jobs > 1`` fans out over a
+            process pool (:func:`repro.exec.runner.run_scenario_parallel`)
+            and produces a byte-identical report.
+        cache: Optional persistent transcode cache consulted (and filled)
+            by every encode of the run -- candidate, bisection probes,
+            and references alike.  The report's ``cache`` field carries
+            this run's hit/miss/byte statistics.
+    """
+    if jobs < 1:
+        raise ValueError(f"need at least one job, got {jobs}")
+    if scenario is Scenario.PLATFORM:
+        raise ValueError("use run_platform for the Platform scenario")
+    if jobs > 1:
+        from repro.exec.runner import run_scenario_parallel
+
+        return run_scenario_parallel(
+            suite,
+            scenario,
+            backend,
+            bisect_iterations=bisect_iterations,
+            jobs=jobs,
+            cache=cache,
+        )
     transcoder = (
         get_transcoder(backend) if isinstance(backend, str) else backend
     )
-    if scenario is Scenario.PLATFORM:
-        raise ValueError("use run_platform for the Platform scenario")
+    stats_before = None
+    if cache is not None:
+        suite.references.attach_cache(cache)
+        transcoder = cache.wrap(transcoder)
+        stats_before = cache.stats.copy()
     scores: List[ScenarioScore] = []
     candidates: List[TranscodeResult] = []
     references: List[TranscodeResult] = []
@@ -191,6 +256,7 @@ def run_scenario(
         scores=scores,
         candidates=candidates,
         references=references,
+        cache=cache.stats.since(stats_before) if cache is not None else None,
     )
 
 

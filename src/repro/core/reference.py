@@ -27,14 +27,17 @@ computes them lazily and caches per video.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.codec.presets import EncoderConfig, preset
-from repro.encoders.base import RateSpec, TranscodeResult
+from repro.encoders.base import RateSpec, Transcoder, TranscodeResult
 from repro.encoders.software import SoftwareTranscoder, X264Transcoder
 from repro.video.video import Video
 
 from repro.core.scenarios import Scenario
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.exec.cache import TranscodeCache
 
 __all__ = ["ReferenceStore", "live_ladder", "vod_target_bitrate"]
 
@@ -66,11 +69,14 @@ def live_ladder() -> List[Tuple[str, EncoderConfig]]:
     ]
 
 
-def vod_target_bitrate(video: Video) -> float:
+def vod_target_bitrate(
+    video: Video, cache: Optional["TranscodeCache"] = None
+) -> float:
     """Per-video VOD target bitrate (bits/second): the CRF-23 size."""
-    result = X264Transcoder("medium").transcode(
-        video, RateSpec.for_crf(_VOD_TARGET_CRF)
-    )
+    transcoder: Transcoder = X264Transcoder("medium")
+    if cache is not None:
+        transcoder = cache.wrap(transcoder)
+    result = transcoder.transcode(video, RateSpec.for_crf(_VOD_TARGET_CRF))
     return result.bitrate
 
 
@@ -84,17 +90,33 @@ class Reference:
 
 
 class ReferenceStore:
-    """Lazily computes and caches per-video scenario references."""
+    """Lazily computes and caches per-video scenario references.
 
-    def __init__(self) -> None:
+    Two cache layers: the in-memory per-store maps below (one store per
+    suite -- never shared between callers), and an optional persistent
+    :class:`~repro.exec.cache.TranscodeCache` every reference encode is
+    routed through, so reference work survives the process.
+    """
+
+    def __init__(self, cache: Optional["TranscodeCache"] = None) -> None:
         self._targets: Dict[str, float] = {}
         self._refs: Dict[Tuple[str, Scenario], Reference] = {}
+        self._cache = cache
+
+    @property
+    def cache(self) -> Optional["TranscodeCache"]:
+        """The attached persistent transcode cache, if any."""
+        return self._cache
+
+    def attach_cache(self, cache: "TranscodeCache") -> None:
+        """Route subsequent reference encodes through ``cache``."""
+        self._cache = cache
 
     def target_bitrate(self, video: Video) -> float:
         """The video's VOD target bitrate (cached)."""
         key = self._key(video)
         if key not in self._targets:
-            self._targets[key] = vod_target_bitrate(video)
+            self._targets[key] = vod_target_bitrate(video, cache=self._cache)
         return self._targets[key]
 
     def reference(self, video: Video, scenario: Scenario) -> Reference:
@@ -104,7 +126,21 @@ class ReferenceStore:
             self._refs[key] = self._compute(video, scenario)
         return self._refs[key]
 
+    def install(self, video: Video, scenario: Scenario, reference: Reference) -> None:
+        """Adopt a reference computed elsewhere (e.g. by a pool worker)."""
+        self._refs[(self._key(video), scenario)] = reference
+
+    def has(self, video: Video, scenario: Scenario) -> bool:
+        """Whether the reference is already materialized in memory."""
+        return (self._key(video), scenario) in self._refs
+
     # -- internals ----------------------------------------------------------
+
+    def _wrap(self, transcoder: Transcoder) -> Transcoder:
+        """Route ``transcoder`` through the persistent cache, if attached."""
+        if self._cache is None:
+            return transcoder
+        return self._cache.wrap(transcoder)
 
     @staticmethod
     def _key(video: Video) -> str:
@@ -115,7 +151,7 @@ class ReferenceStore:
     def _compute(self, video: Video, scenario: Scenario) -> Reference:
         if scenario is Scenario.UPLOAD:
             rate = RateSpec.for_crf(_UPLOAD_CRF)
-            result = X264Transcoder("medium").transcode(video, rate)
+            result = self._wrap(X264Transcoder("medium")).transcode(video, rate)
             return Reference(result, rate, "x264-medium crf18")
 
         target = self.target_bitrate(video)
@@ -123,11 +159,11 @@ class ReferenceStore:
             return self._compute_live(video, target)
         if scenario in (Scenario.VOD, Scenario.PLATFORM):
             rate = RateSpec.for_bitrate(target, two_pass=True)
-            result = X264Transcoder("medium").transcode(video, rate)
+            result = self._wrap(X264Transcoder("medium")).transcode(video, rate)
             return Reference(result, rate, "x264-medium 2-pass")
         if scenario is Scenario.POPULAR:
             rate = RateSpec.for_bitrate(target, two_pass=True)
-            result = X264Transcoder("veryslow").transcode(video, rate)
+            result = self._wrap(X264Transcoder("veryslow")).transcode(video, rate)
             return Reference(result, rate, "x264-veryslow 2-pass")
         raise ValueError(f"unknown scenario {scenario!r}")
 
@@ -137,9 +173,9 @@ class ReferenceStore:
         realtime = video.nominal_pixel_rate / 1e6
         last: Optional[Tuple[str, TranscodeResult]] = None
         for label, config in live_ladder():
-            result = SoftwareTranscoder(f"x264-{label}", config).transcode(
-                video, rate
-            )
+            result = self._wrap(
+                SoftwareTranscoder(f"x264-{label}", config)
+            ).transcode(video, rate)
             last = (label, result)
             if result.speed_mpixels >= realtime:
                 break

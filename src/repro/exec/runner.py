@@ -1,0 +1,276 @@
+"""Process-pool execution of scenario runs and reference generation.
+
+Li et al. (PAPERS.md) show transcode farms live or die on parallel task
+scheduling; our harness's unit of work -- one suite video through one
+scenario, references included -- is embarrassingly parallel.  The runner
+fans those units out across a process pool with three guarantees:
+
+* **Ordered collection**: results are reassembled in suite order no
+  matter which worker finished first, so a parallel
+  :class:`~repro.core.benchmark.ScenarioReport` renders byte-identically
+  to the serial one.
+* **Deterministic per-task seeding**: every task derives a seed from the
+  suite seed, the scenario, and the video's name and position, and the
+  worker reseeds the global RNGs with it before any work.  No task ever
+  observes RNG state left behind by whichever task ran before it on the
+  same worker, so the schedule cannot perturb results.
+* **Shared persistence**: when a :class:`TranscodeCache` directory is
+  provided, every worker opens the same directory, so encodes done by
+  one process are hits for every later process (and for later runs).
+
+Workers rebuild per-task state (a fresh
+:class:`~repro.core.reference.ReferenceStore`, the backend) from the
+task description instead of sharing live objects; everything they need
+crosses the process boundary as plain picklable data.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from concurrent.futures import Executor, ProcessPoolExecutor
+from contextlib import nullcontext
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.benchmark import BenchmarkSuite, ScenarioReport
+from repro.core.harness import candidate_for_scenario
+from repro.core.reference import Reference, ReferenceStore
+from repro.core.scenarios import Scenario, ScenarioScore, score_scenario
+from repro.encoders.base import Transcoder, TranscodeResult
+from repro.encoders.registry import get_transcoder
+from repro.exec.cache import CacheStats, TranscodeCache
+from repro.video.video import Video
+
+__all__ = ["prime_references", "run_scenario_parallel", "task_seed"]
+
+
+def task_seed(root_seed: int, scenario: Scenario, name: str, index: int) -> int:
+    """A stable 32-bit seed for one (suite, scenario, video) task.
+
+    Mirrors :meth:`repro.robust.faults.FaultPlan.rng_for`: derived by
+    hashing the identifying strings, so adding or reordering other tasks
+    never perturbs this task's stream.
+    """
+    material = f"{root_seed}:{scenario.value}:{name}:{index}".encode("utf-8")
+    return zlib.crc32(material)
+
+
+def _reseed(seed: int) -> None:
+    """Pin the global RNGs a task might (transitively) consult."""
+    np.random.seed(seed)
+    random.seed(seed)
+
+
+@dataclass(frozen=True)
+class _ScenarioTask:
+    """Everything one worker needs to score one suite video."""
+
+    index: int
+    video: Video
+    scenario: Scenario
+    backend: Union[str, Transcoder]
+    bisect_iterations: int
+    cache_dir: Optional[str]
+    seed: int
+
+
+@dataclass(frozen=True)
+class _ReferenceTask:
+    """Everything one worker needs to build one scenario reference."""
+
+    index: int
+    video: Video
+    scenario: Scenario
+    cache_dir: Optional[str]
+    seed: int
+
+
+def _open_cache(cache_dir: Optional[str]) -> Optional[TranscodeCache]:
+    return TranscodeCache(cache_dir) if cache_dir else None
+
+
+def _run_scenario_task(
+    task: _ScenarioTask,
+) -> Tuple[int, ScenarioScore, TranscodeResult, TranscodeResult, CacheStats]:
+    """Worker body: reference + candidate + score for one video."""
+    _reseed(task.seed)
+    cache = _open_cache(task.cache_dir)
+    refs = ReferenceStore(cache=cache)
+    transcoder = (
+        get_transcoder(task.backend)
+        if isinstance(task.backend, str)
+        else task.backend
+    )
+    if cache is not None:
+        transcoder = cache.wrap(transcoder)
+    reference = refs.reference(task.video, task.scenario)
+    candidate = candidate_for_scenario(
+        transcoder,
+        task.video,
+        task.scenario,
+        refs,
+        bisect_iterations=task.bisect_iterations,
+    )
+    score = score_scenario(task.scenario, candidate, reference.result)
+    stats = cache.stats if cache is not None else CacheStats()
+    return task.index, score, candidate, reference.result, stats
+
+
+def _run_reference_task(
+    task: _ReferenceTask,
+) -> Tuple[int, Scenario, Reference, CacheStats]:
+    """Worker body: one scenario reference for one video."""
+    _reseed(task.seed)
+    cache = _open_cache(task.cache_dir)
+    refs = ReferenceStore(cache=cache)
+    reference = refs.reference(task.video, task.scenario)
+    stats = cache.stats if cache is not None else CacheStats()
+    return task.index, task.scenario, reference, stats
+
+
+def _pool(jobs: int):
+    """A fork-based process pool (fork inherits the loaded interpreter,
+    so workers skip re-importing the package), or ``nullcontext`` serial.
+    """
+    if jobs == 1:
+        return nullcontext()
+    import multiprocessing
+
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        context = multiprocessing.get_context()
+    return ProcessPoolExecutor(max_workers=jobs, mp_context=context)
+
+
+def _execute(executor: Optional[Executor], fn, tasks: Sequence) -> Iterable:
+    """Run ``fn`` over ``tasks``, in order, serially or on the pool."""
+    if executor is None:
+        return map(fn, tasks)
+    return executor.map(fn, tasks)
+
+
+def _validate_jobs(jobs: int) -> None:
+    if jobs < 1:
+        raise ValueError(f"need at least one job, got {jobs}")
+
+
+def run_scenario_parallel(
+    suite: BenchmarkSuite,
+    scenario: Scenario,
+    backend: Union[str, Transcoder],
+    bisect_iterations: int = 7,
+    jobs: int = 1,
+    cache: Optional[TranscodeCache] = None,
+) -> ScenarioReport:
+    """Score ``backend`` across the suite, ``jobs`` videos at a time.
+
+    Byte-identical to the serial :func:`repro.core.benchmark.run_scenario`
+    (every encode is deterministic and tasks share no state), but
+    wall-clock scales with the pool.  With a cache, workers share one
+    on-disk store; the returned report carries this run's aggregated
+    cache statistics.
+    """
+    _validate_jobs(jobs)
+    if scenario is Scenario.PLATFORM:
+        raise ValueError("use run_platform for the Platform scenario")
+    if jobs > 1 and not isinstance(backend, str):
+        # A live Transcoder must cross the process boundary; registry
+        # specs are the safe, always-picklable currency.
+        try:
+            import pickle
+
+            pickle.dumps(backend)
+        except Exception as error:
+            raise ValueError(
+                f"backend {backend!r} is not picklable; pass a registry "
+                f"spec (e.g. 'x264:medium') for parallel runs"
+            ) from error
+    cache_dir = str(cache.root) if cache is not None else None
+    tasks = [
+        _ScenarioTask(
+            index=i,
+            video=entry.video,
+            scenario=scenario,
+            backend=backend,
+            bisect_iterations=bisect_iterations,
+            cache_dir=cache_dir,
+            seed=task_seed(suite.seed, scenario, entry.name, i),
+        )
+        for i, entry in enumerate(suite)
+    ]
+    scores: List[Optional[ScenarioScore]] = [None] * len(tasks)
+    candidates: List[Optional[TranscodeResult]] = [None] * len(tasks)
+    references: List[Optional[TranscodeResult]] = [None] * len(tasks)
+    run_stats = CacheStats()
+    with _pool(jobs) as executor:
+        results = _execute(
+            executor if jobs > 1 else None, _run_scenario_task, tasks
+        )
+        for index, score, candidate, reference, stats in results:
+            scores[index] = score
+            candidates[index] = candidate
+            references[index] = reference
+            run_stats.merge(stats)
+    if cache is not None:
+        cache.stats.merge(run_stats)
+    backend_name = (
+        get_transcoder(backend).name if isinstance(backend, str) else backend.name
+    )
+    return ScenarioReport(
+        scenario=scenario,
+        backend=backend_name,
+        scores=scores,
+        candidates=candidates,
+        references=references,
+        cache=run_stats if cache is not None else None,
+    )
+
+
+def prime_references(
+    suite: BenchmarkSuite,
+    scenarios: Union[Scenario, Sequence[Scenario]],
+    jobs: int = 1,
+    cache: Optional[TranscodeCache] = None,
+) -> CacheStats:
+    """Generate scenario references for every suite video, in parallel.
+
+    The computed references are installed into ``suite.references``, so a
+    subsequent serial run re-encodes nothing; with a ``cache`` they are
+    also persisted for other processes and later runs.  Returns the
+    aggregated cache statistics of the priming pass (all-zero when no
+    cache was given).
+    """
+    _validate_jobs(jobs)
+    if isinstance(scenarios, Scenario):
+        scenarios = [scenarios]
+    cache_dir = str(cache.root) if cache is not None else None
+    entries = list(suite)
+    tasks = []
+    for scenario in scenarios:
+        for i, entry in enumerate(entries):
+            tasks.append(
+                _ReferenceTask(
+                    index=i,
+                    video=entry.video,
+                    scenario=scenario,
+                    cache_dir=cache_dir,
+                    seed=task_seed(suite.seed, scenario, entry.name, i),
+                )
+            )
+    run_stats = CacheStats()
+    if cache is not None:
+        suite.references.attach_cache(cache)
+    with _pool(jobs) as executor:
+        results = _execute(
+            executor if jobs > 1 else None, _run_reference_task, tasks
+        )
+        for index, scenario, reference, stats in results:
+            suite.references.install(entries[index].video, scenario, reference)
+            run_stats.merge(stats)
+    if cache is not None:
+        cache.stats.merge(run_stats)
+    return run_stats

@@ -9,11 +9,19 @@ cubic through (log-bitrate, PSNR) points and integrating the difference.
 
 from __future__ import annotations
 
+import warnings
 from typing import Sequence, Tuple
 
 import numpy as np
 
 __all__ = ["bd_rate", "bd_psnr"]
+
+#: RD points closer in quality than this are indistinguishable operating
+#: points -- the cubic fit through them is ill-conditioned either way.
+_MIN_QUALITY_GAP_DB = 1e-6
+
+#: numpy >= 2 moved RankWarning into np.exceptions.
+_RANK_WARNING = getattr(np, "RankWarning", None) or np.exceptions.RankWarning
 
 
 def _validate(rates: Sequence[float], psnrs: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
@@ -23,15 +31,46 @@ def _validate(rates: Sequence[float], psnrs: Sequence[float]) -> Tuple[np.ndarra
         raise ValueError("rates and psnrs must be 1-D sequences of equal length")
     if r.size < 4:
         raise ValueError(f"BD metrics need at least 4 RD points, got {r.size}")
+    if not (np.all(np.isfinite(r)) and np.all(np.isfinite(q))):
+        raise ValueError("RD points must be finite")
     if np.any(r <= 0):
         raise ValueError("bitrates must be positive")
-    order = np.argsort(q)
-    return np.log(r[order]), q[order]
+    order = np.argsort(q, kind="stable")
+    r, q = r[order], q[order]
+    gaps = np.diff(q)
+    if np.any(gaps <= _MIN_QUALITY_GAP_DB):
+        i = int(np.argmin(gaps))
+        raise ValueError(
+            "RD curve must be strictly monotonic in quality: points "
+            f"{i} and {i + 1} (after sorting) have PSNR {q[i]:.6f} and "
+            f"{q[i + 1]:.6f} dB -- duplicate or near-duplicate operating "
+            "points make the cubic fit ill-conditioned"
+        )
+    if np.any(np.diff(r) <= 0):
+        raise ValueError(
+            "RD curve must be strictly monotonic: bitrate must increase "
+            "with quality (a higher-quality point at equal or lower "
+            "bitrate means a measurement error or a dominated point)"
+        )
+    return np.log(r), q
 
 
 def _poly_integral(x: np.ndarray, y: np.ndarray, lo: float, hi: float) -> float:
-    """Integrate a cubic fit of y(x) between lo and hi."""
-    coeffs = np.polyfit(x, y, 3)
+    """Integrate a cubic fit of y(x) between lo and hi.
+
+    A rank-deficient fit (nearly collinear abscissae) is promoted from
+    numpy's RankWarning to a hard error with a diagnostic: silently
+    integrating a degenerate cubic yields plausible-looking garbage.
+    """
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", _RANK_WARNING)
+        try:
+            coeffs = np.polyfit(x, y, 3)
+        except _RANK_WARNING as warning:
+            raise ValueError(
+                "cubic fit through RD points is ill-conditioned "
+                f"(abscissae {np.array2string(x, precision=4)}): {warning}"
+            ) from None
     integral = np.polyint(coeffs)
     return float(np.polyval(integral, hi) - np.polyval(integral, lo))
 

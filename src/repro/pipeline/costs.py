@@ -13,6 +13,10 @@ compute while inflating storage and egress, Section 5.3).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.exec.cache import CacheStats
 
 __all__ = ["CostModel", "CostReport"]
 
@@ -39,12 +43,19 @@ class CostModel:
 
 @dataclass
 class CostReport:
-    """Accumulated service costs, in dollars."""
+    """Accumulated service costs, in dollars.
+
+    ``cache`` carries the transcode-cache statistics of the run that
+    produced this report, when a persistent cache was in play -- cache
+    hits are compute the service did *not* pay for, surfaced via
+    :attr:`compute_hours_saved`.
+    """
 
     storage_gb_months: float = 0.0
     egress_gb: float = 0.0
     compute_hours: float = 0.0
     model: CostModel = field(default_factory=CostModel)
+    cache: Optional["CacheStats"] = None
 
     def add_storage(self, size_bytes: float, months: float = 1.0) -> None:
         if size_bytes < 0 or months < 0:
@@ -76,6 +87,13 @@ class CostReport:
     @property
     def total_cost(self) -> float:
         return self.storage_cost + self.network_cost + self.compute_cost
+
+    @property
+    def compute_hours_saved(self) -> float:
+        """Compute-hours the transcode cache avoided (0 without a cache)."""
+        if self.cache is None:
+            return 0.0
+        return self.cache.seconds_saved / 3600.0
 
     def breakdown(self) -> dict:
         """Cost per category, in dollars."""

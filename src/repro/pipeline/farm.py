@@ -26,7 +26,7 @@ models parallelism deterministically on one interpreter thread.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.scenarios import Scenario
 from repro.encoders.base import RateSpec, Transcoder, TranscodeResult
@@ -49,6 +49,9 @@ from repro.robust.faults import (
 )
 from repro.robust.retry import DeadlineBudget, DeadlinePolicy, RetryPolicy
 from repro.video.video import Video
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.exec.cache import CacheStats, TranscodeCache
 
 __all__ = [
     "DeadLetter",
@@ -376,6 +379,10 @@ class TranscodeFarm:
         cost_model: Unit prices for the cost report.
         fault_plan: Faults to inject; ``None`` runs the farm fault-free
             (the control arm of a chaos experiment).
+        cache: Optional persistent transcode cache.  Wrapped *inside* the
+            fault injector, so chaos still fires on every call while the
+            underlying clean encodes are reused; the compute the cache
+            avoided is surfaced through the cost report.
     """
 
     def __init__(
@@ -386,9 +393,14 @@ class TranscodeFarm:
         service_config: Optional[ServiceConfig] = None,
         cost_model: Optional[CostModel] = None,
         fault_plan: Optional[FaultPlan] = None,
+        cache: Optional["TranscodeCache"] = None,
     ) -> None:
         self.config = config or FarmConfig()
         self.fault_plan = fault_plan
+        self.cache = cache
+        self._cache_stats_before: Optional["CacheStats"] = (
+            cache.stats.copy() if cache is not None else None
+        )
         self.clock = SimClock()
         self.report = RobustnessReport()
         ladders = {
@@ -407,6 +419,8 @@ class TranscodeFarm:
         self.breakers: Dict[str, CircuitBreaker] = {}
         for spec in sorted(set(ladders["delivery"]) | set(ladders["popular"])):
             backend = get_transcoder(spec)
+            if cache is not None:
+                backend = cache.wrap(backend)
             if fault_plan is not None:
                 backend = FaultyTranscoder(backend, fault_plan, key=spec)
             self.pool[spec] = backend
@@ -509,6 +523,10 @@ class TranscodeFarm:
             for spec, backend in self.pool.items()
             if isinstance(backend, FaultyTranscoder)
         }
+        if self.cache is not None:
+            self.service.costs.cache = self.cache.stats.since(
+                self._cache_stats_before
+            )
         return report
 
     def breaker_state(self, spec: str) -> BreakerState:

@@ -102,6 +102,29 @@ class TestSuiteCommands:
              "--scenario", "live", "--backend", "av9000"]
         ) == 2
 
+    def test_run_parallel_cached_stdout_identical(self, tmp_path, capsys):
+        base = ["run", "--profile", "tiny", "--k", "2", "--seed", "7",
+                "--scenario", "upload", "--backend", "x264:veryfast"]
+        assert main(base) == 0
+        serial = capsys.readouterr()
+        assert main(base + ["--jobs", "2", "--cache", str(tmp_path / "c")]) == 0
+        parallel = capsys.readouterr()
+        # Stdout must be byte-identical; cache stats go to stderr only.
+        assert parallel.out == serial.out
+        assert "cache:" in parallel.err
+        assert "cache:" not in serial.err
+
+    def test_refs_primes_cache(self, tmp_path, capsys):
+        cache_dir = tmp_path / "refs-cache"
+        assert main(
+            ["refs", "--profile", "tiny", "--k", "2", "--seed", "7",
+             "--scenario", "upload", "--jobs", "2", "--cache", str(cache_dir)]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "primed 2 references" in captured.out
+        assert "stores=" in captured.err
+        assert cache_dir.is_dir()
+
 
 class TestChaos:
     ARGS = ["chaos", "--profile", "tiny", "--k", "3", "--seed", "99",

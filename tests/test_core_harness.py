@@ -190,6 +190,20 @@ class TestBisectionEdgeCases:
         # Each bracket step doubled the rate: the report is the 8e5 try.
         assert result.compressed_bytes == int(8e5)
 
+    def test_downward_bracket_is_tight(self, suite):
+        # Initial 1e5 passes, 5e4 passes, 2.5e4 fails: the bracket is now
+        # (2.5e4, 5e4) -- every point above 5e4 is already known to pass.
+        # The first bisection probe must therefore be 3.75e4, not the
+        # 6.25e4 a stale hi=initial_bitrate would produce.
+        backend = _scripted_backend([45.0, 45.0, 30.0, 45.0])
+        result = bisect_to_quality(
+            backend, suite.videos[0].video, 40.0, initial_bitrate=1e5,
+            iterations=4,
+        )
+        assert backend.calls == 4
+        assert result.quality_db >= 40.0
+        assert result.compressed_bytes == int(3.75e4)
+
     def test_non_monotonic_quality_keeps_cheapest_passing(self, suite):
         # Quality dips below target at the halved rate, then a bisection
         # probe passes again: the best-so-far tracking must return the
@@ -234,10 +248,30 @@ class TestRunScenario:
 
 
 class TestVbenchSuite:
-    def test_cached_identity(self):
+    def test_isolated_suites_share_selection(self):
+        # The expensive selection is cached, but every caller gets its own
+        # suite and reference store: one run's references must never leak
+        # into (or be perturbed by) another's.
         a = vbench_suite(profile="tiny", k=3, seed=99)
         b = vbench_suite(profile="tiny", k=3, seed=99)
-        assert a is b
+        assert a is not b
+        assert a.references is not b.references
+        assert a.table2() == b.table2()
+        # The underlying Video objects are shared (immutable, expensive).
+        assert all(
+            va.video is vb.video for va, vb in zip(a.videos, b.videos)
+        )
+
+    def test_reference_accumulation_does_not_leak(self):
+        a = vbench_suite(profile="tiny", k=2, seed=99)
+        entry = a.videos[0]
+        a.references.reference(entry.video, Scenario.VOD)
+        b = vbench_suite(profile="tiny", k=2, seed=99)
+        assert not b.references.has(entry.video, Scenario.VOD)
+
+    def test_suite_membership_immutable(self):
+        suite = vbench_suite(profile="tiny", k=2, seed=99)
+        assert isinstance(suite.videos, tuple)
 
     def test_table2_shape(self):
         suite = vbench_suite(profile="tiny", k=3, seed=99)

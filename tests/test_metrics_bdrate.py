@@ -47,6 +47,40 @@ class TestBdRate:
                 [1, 2, 4, 8], [40, 41, 42, 43],
             )
 
+    def test_rejects_duplicate_quality_points(self):
+        # Two operating points with identical PSNR make the cubic fit
+        # through (quality -> log-rate) ill-conditioned; previously this
+        # produced garbage (or a bare numpy RankWarning) instead of a
+        # diagnostic.
+        with pytest.raises(ValueError, match="monotonic"):
+            bd_rate(
+                [1, 2, 4, 8], [30, 33, 33, 39],
+                [1, 2, 4, 8], [30, 33, 36, 39],
+            )
+
+    def test_rejects_near_duplicate_quality_points(self):
+        with pytest.raises(ValueError, match="monotonic"):
+            bd_rate(
+                [1, 2, 4, 8], [30, 33, 33 + 1e-9, 39],
+                [1, 2, 4, 8], [30, 33, 36, 39],
+            )
+
+    def test_rejects_quality_decreasing_with_bitrate(self):
+        # A higher-quality point at a *lower* bitrate is a dominated /
+        # mismeasured point; integrating through it silently skews the fit.
+        with pytest.raises(ValueError, match="monotonic"):
+            bd_rate(
+                [8, 2, 4, 1], [30, 33, 36, 39],
+                [1, 2, 4, 8], [30, 33, 36, 39],
+            )
+
+    def test_rejects_nonfinite_points(self):
+        with pytest.raises(ValueError, match="finite"):
+            bd_rate(
+                [1, 2, 4, 8], [30, 33, float("nan"), 39],
+                [1, 2, 4, 8], [30, 33, 36, 39],
+            )
+
 
 class TestBdPsnr:
     def test_identical_is_zero(self):

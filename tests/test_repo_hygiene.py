@@ -1,0 +1,40 @@
+"""The repository must not track compiled artifacts (mirrors the CI gate)."""
+
+import re
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+_ARTIFACT = re.compile(r"(^|/)__pycache__/|\.py[cod]$|\.egg-info")
+
+
+def _tracked_files():
+    try:
+        output = subprocess.run(
+            ["git", "ls-files"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+    except (OSError, subprocess.CalledProcessError):
+        pytest.skip("not running inside a git checkout")
+    return output.splitlines()
+
+
+def test_no_compiled_artifacts_tracked():
+    offenders = [path for path in _tracked_files() if _ARTIFACT.search(path)]
+    assert not offenders, (
+        "compiled artifacts are tracked; `git rm --cached` them and rely on "
+        f".gitignore: {offenders[:5]}"
+    )
+
+
+def test_gitignore_covers_bytecode():
+    gitignore = REPO_ROOT / ".gitignore"
+    assert gitignore.is_file(), ".gitignore is missing"
+    rules = gitignore.read_text()
+    assert "__pycache__/" in rules
+    assert "*.py[cod]" in rules
