@@ -1,0 +1,89 @@
+"""Static analysis ("vlint"): the repo's invariants, enforced at parse time.
+
+PR 2 made byte-identical parallel/cached reports a hard contract and PR 1
+made chaos runs replayable; both rest on invariants -- fully seeded RNG
+streams, wall-clock reads quarantined to ``wall_seconds`` measurement,
+clip-guarded pixel math, pure pool workers, mirrored bitstream
+writers/readers -- that nothing enforced.  One unseeded ``default_rng()``
+or a ``perf_counter()`` value leaking into a cache key breaks
+reproducibility silently.  This package is an AST-based lint framework
+(stdlib :mod:`ast`, no dependencies) that makes those invariants fail the
+build instead:
+
+* :mod:`repro.analysis.registry` -- checker registry + ``ModuleInfo``.
+* :mod:`repro.analysis.engine` -- file discovery, parallel per-file
+  walking, deterministic merge.
+* :mod:`repro.analysis.findings` -- structured findings.
+* :mod:`repro.analysis.baseline` -- the ``.vlint.toml`` allowlist.
+* :mod:`repro.analysis.reporters` -- text and stable-JSON rendering.
+* :mod:`repro.analysis.checkers` -- the five project rules (VL001-VL005).
+
+Run it as ``python -m repro lint`` (the CI gate) or programmatically via
+:func:`lint_paths`.  The repo self-hosts: ``tests/test_vlint.py`` asserts
+the source tree lints clean.
+"""
+
+from repro.analysis.baseline import (
+    Baseline,
+    BaselineEntry,
+    load_baseline,
+    parse_baseline,
+)
+from repro.analysis.checkers import (
+    DeterminismChecker,
+    DtypeSafetyChecker,
+    ExportSyncChecker,
+    ForkSafetyChecker,
+    SymmetricPair,
+    SymmetryChecker,
+    discover_pairs,
+)
+from repro.analysis.engine import (
+    LintReport,
+    lint_file,
+    lint_paths,
+    module_name_for,
+)
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import (
+    Checker,
+    ModuleInfo,
+    all_checkers,
+    checker_for,
+    known_rules,
+    register,
+)
+from repro.analysis.reporters import (
+    JSON_REPORT_VERSION,
+    render_json,
+    render_text,
+)
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "Checker",
+    "DeterminismChecker",
+    "DtypeSafetyChecker",
+    "ExportSyncChecker",
+    "Finding",
+    "ForkSafetyChecker",
+    "JSON_REPORT_VERSION",
+    "LintReport",
+    "ModuleInfo",
+    "Severity",
+    "SymmetricPair",
+    "SymmetryChecker",
+    "all_checkers",
+    "checker_for",
+    "discover_pairs",
+    "known_rules",
+    "lint_file",
+    "lint_paths",
+    "load_baseline",
+    "module_name_for",
+    "parse_baseline",
+    "register",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,143 @@
+"""The ``.vlint.toml`` baseline: sanctioned findings, each with a reason.
+
+A baseline entry suppresses findings matching its ``rule`` and ``path``
+(and, when given, ``line``).  The file is TOML, but the stdlib only grew a
+TOML parser in Python 3.11 and this repo supports 3.9, so a tiny parser for
+the subset the baseline needs lives here: comments, ``[[allow]]``
+array-of-tables headers, and ``key = "string" | integer`` pairs.  Anything
+outside that subset is rejected loudly rather than mis-parsed.
+
+The shipped baseline should stay empty or near-empty; every entry must say
+*why* the site is sanctioned (``reason`` is mandatory), mirroring how the
+paper's methodology documents every deviation from its reference pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.analysis.findings import Finding
+
+__all__ = ["BaselineEntry", "Baseline", "load_baseline", "parse_baseline"]
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One sanctioned finding site."""
+
+    rule: str
+    path: str
+    reason: str
+    line: Optional[int] = None
+
+    def matches(self, finding: Finding) -> bool:
+        if self.rule != finding.rule:
+            return False
+        if self.line is not None and self.line != finding.line:
+            return False
+        # Suffix match on posix-normalized paths, so entries written
+        # relative to the repo root match absolute engine paths.
+        entry = Path(self.path).as_posix()
+        found = Path(finding.path).as_posix()
+        return found == entry or found.endswith("/" + entry)
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """A parsed ``.vlint.toml``."""
+
+    entries: Tuple[BaselineEntry, ...] = ()
+
+    def allows(self, finding: Finding) -> bool:
+        return any(entry.matches(finding) for entry in self.entries)
+
+
+def _parse_value(raw: str, lineno: int) -> Union[str, int]:
+    raw = raw.strip()
+    if raw.startswith('"') and raw.endswith('"') and len(raw) >= 2:
+        return raw[1:-1]
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(
+            f".vlint.toml line {lineno}: unsupported value {raw!r} "
+            f"(need a double-quoted string or an integer)"
+        ) from None
+
+
+def parse_baseline(text: str) -> Baseline:
+    """Parse baseline TOML text into a :class:`Baseline`."""
+    entries: List[BaselineEntry] = []
+    current: Optional[dict] = None
+
+    def flush() -> None:
+        if current is None:
+            return
+        for key in ("rule", "path", "reason"):
+            if key not in current:
+                raise ValueError(
+                    f".vlint.toml: [[allow]] entry missing required "
+                    f"key {key!r} (every entry needs rule, path, reason)"
+                )
+        entries.append(
+            BaselineEntry(
+                rule=str(current["rule"]),
+                path=str(current["path"]),
+                reason=str(current["reason"]),
+                line=current.get("line"),
+            )
+        )
+
+    for lineno, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip() if not _in_string(raw_line) \
+            else raw_line.strip()
+        if not line:
+            continue
+        if line == "[[allow]]":
+            flush()
+            current = {}
+            continue
+        if line.startswith("["):
+            raise ValueError(
+                f".vlint.toml line {lineno}: unsupported table {line!r} "
+                f"(only [[allow]] entries are recognized)"
+            )
+        if "=" not in line:
+            raise ValueError(
+                f".vlint.toml line {lineno}: expected 'key = value', "
+                f"got {raw_line!r}"
+            )
+        if current is None:
+            raise ValueError(
+                f".vlint.toml line {lineno}: key/value pair outside an "
+                f"[[allow]] entry"
+            )
+        key, _, raw_value = line.partition("=")
+        key = key.strip()
+        if key not in ("rule", "path", "reason", "line"):
+            raise ValueError(
+                f".vlint.toml line {lineno}: unknown key {key!r}"
+            )
+        value = _parse_value(raw_value, lineno)
+        if key == "line" and not isinstance(value, int):
+            raise ValueError(
+                f".vlint.toml line {lineno}: 'line' must be an integer"
+            )
+        current[key] = value
+    flush()
+    return Baseline(entries=tuple(entries))
+
+
+def _in_string(line: str) -> bool:
+    """True when a ``#`` on this line sits inside a quoted value."""
+    hash_pos = line.find("#")
+    if hash_pos < 0:
+        return False
+    return line[:hash_pos].count('"') % 2 == 1
+
+
+def load_baseline(path: Union[str, Path]) -> Baseline:
+    """Load and parse a baseline file."""
+    return parse_baseline(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,36 @@
+"""The project-specific vlint checkers.
+
+Importing this package registers every checker with
+:mod:`repro.analysis.registry`:
+
+* **VL001** :mod:`~repro.analysis.checkers.determinism` -- no unseeded
+  randomness or wall-clock reads in the deterministic packages.
+* **VL002** :mod:`~repro.analysis.checkers.dtype_safety` -- uint8 frame
+  math must widen; narrowing casts must clip.
+* **VL003** :mod:`~repro.analysis.checkers.fork_safety` -- pool workers
+  must be module-level, pure, and picklable.
+* **VL004** :mod:`~repro.analysis.checkers.symmetry` -- every bitstream
+  writer has a mirrored reader.
+* **VL005** :mod:`~repro.analysis.checkers.exports` -- package
+  ``__all__`` matches what is actually bound.
+"""
+
+from repro.analysis.checkers.determinism import DeterminismChecker
+from repro.analysis.checkers.dtype_safety import DtypeSafetyChecker
+from repro.analysis.checkers.exports import ExportSyncChecker
+from repro.analysis.checkers.fork_safety import ForkSafetyChecker
+from repro.analysis.checkers.symmetry import (
+    SymmetricPair,
+    SymmetryChecker,
+    discover_pairs,
+)
+
+__all__ = [
+    "DeterminismChecker",
+    "DtypeSafetyChecker",
+    "ExportSyncChecker",
+    "ForkSafetyChecker",
+    "SymmetricPair",
+    "SymmetryChecker",
+    "discover_pairs",
+]

@@ -1,0 +1,139 @@
+"""VL005: export sync -- package ``__all__`` matches what is bound.
+
+Every package ``__init__.py`` in this repo is a curated re-export surface:
+``__all__`` *is* the public API contract that README examples, the CLI's
+lazy imports, and downstream code rely on.  Drift goes both ways and both
+are bugs:
+
+* a name in ``__all__`` that the module never binds turns
+  ``from repro.x import *`` (and doc tooling) into an ``AttributeError``;
+* a public name imported into the package but missing from ``__all__`` is
+  an accidental API -- reachable, used, and invisible to the contract.
+
+This rule checks each ``__init__.py``: ``__all__`` must exist, must be a
+literal list/tuple of unique strings, every listed name must be bound
+(imported, assigned, or defined), and every public bound name must be
+listed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Checker, ModuleInfo, register
+
+__all__ = ["ExportSyncChecker"]
+
+
+def _bound_names(tree: ast.Module) -> Set[str]:
+    bound: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound.add(alias.asname or alias.name)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                bound.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    bound.add(target.id)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                bound.add(node.target.id)
+        elif isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            bound.add(node.name)
+    return bound
+
+
+def _find_all(
+    tree: ast.Module,
+) -> Tuple[Optional[ast.Assign], Optional[List[str]]]:
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    if not isinstance(node.value, (ast.List, ast.Tuple)):
+                        return node, None
+                    names: List[str] = []
+                    for element in node.value.elts:
+                        if not (
+                            isinstance(element, ast.Constant)
+                            and isinstance(element.value, str)
+                        ):
+                            return node, None
+                        names.append(element.value)
+                    return node, names
+    return None, None
+
+
+@register
+class ExportSyncChecker(Checker):
+    rule = "VL005"
+    title = "__all__ drift in package __init__"
+
+    def check(self, module: ModuleInfo) -> List[Finding]:
+        if not module.is_package_init:
+            return []
+        assign, names = _find_all(module.tree)
+        if assign is None:
+            return [
+                self.finding(
+                    module,
+                    module.tree,
+                    "package __init__ defines no __all__; the re-export "
+                    "surface must be explicit",
+                )
+            ]
+        if names is None:
+            return [
+                self.finding(
+                    module,
+                    assign,
+                    "__all__ must be a literal list/tuple of strings so "
+                    "the export surface is statically checkable",
+                )
+            ]
+        findings: List[Finding] = []
+        seen: Set[str] = set()
+        for name in names:
+            if name in seen:
+                findings.append(
+                    self.finding(
+                        module,
+                        assign,
+                        f"duplicate name {name!r} in __all__",
+                    )
+                )
+            seen.add(name)
+        bound = _bound_names(module.tree)
+        for name in sorted(seen - bound):
+            findings.append(
+                self.finding(
+                    module,
+                    assign,
+                    f"__all__ lists {name!r} but the module never binds "
+                    f"it; `from ... import *` would raise AttributeError",
+                )
+            )
+        public_bound = {
+            name
+            for name in bound
+            if not name.startswith("_") or name == "__version__"
+        }
+        for name in sorted(public_bound - seen - {"__version__"}):
+            findings.append(
+                self.finding(
+                    module,
+                    assign,
+                    f"public name {name!r} is bound in the package but "
+                    f"missing from __all__; exports have drifted",
+                )
+            )
+        return findings

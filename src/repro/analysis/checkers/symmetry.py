@@ -1,0 +1,295 @@
+"""VL004: bitstream symmetry -- every writer has a mirrored reader.
+
+A bitstream format is a contract between two code paths that never run in
+the same stack frame: the encoder's ``write_*`` and the decoder's
+``read_*``.  Asymmetry (a writer with no reader, mirrored functions whose
+shared parameters disagree) is how formats silently fork.  Inside
+:mod:`repro.codec.entropy_coding` this rule enforces:
+
+* every module-level ``write_X`` has a module-level ``read_X`` and vice
+  versa;
+* for classes that come in writer/reader (or encoder/decoder) pairs --
+  ``BitWriter``/``BitReader``, ``CabacEncoder``/``CabacDecoder`` -- every
+  ``write_X``/``encode_X`` method has a ``read_X``/``decode_X`` partner;
+* mirrored signatures: parameters shared by both sides appear in the same
+  relative order, the write side carries at least one payload parameter
+  the read side does not (the value being coded), and the first parameter
+  is a writer/reader respectively.  The read side may take extra shape
+  parameters (block counts, sizes) that are not self-delimiting in the
+  stream.
+
+The pair discovery lives in :func:`discover_pairs` so the behavioural
+round-trip test can iterate exactly the pairs the rule sees -- the static
+check and the dynamic test can never drift apart.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Checker, ModuleInfo, register
+
+__all__ = ["SymmetryChecker", "discover_pairs", "SymmetricPair"]
+
+#: Package whose modules carry the bitstream contract.
+SYMMETRY_PACKAGE = "repro.codec.entropy_coding"
+
+_WRITE_PREFIXES = ("write_", "encode_")
+_READ_PREFIXES = ("read_", "decode_")
+_CLASS_PARTNERS = (("Writer", "Reader"), ("Encoder", "Decoder"))
+
+
+def _split_prefix(name: str, prefixes: Tuple[str, ...]) -> Optional[str]:
+    for prefix in prefixes:
+        if name.startswith(prefix):
+            return name[len(prefix):]
+        if name == prefix[:-1]:  # bare "write" / "read"
+            return ""
+    return None
+
+
+def _params(fn: ast.FunctionDef, drop_self: bool) -> List[str]:
+    names = [a.arg for a in fn.args.args]
+    if drop_self and names and names[0] in ("self", "cls"):
+        names = names[1:]
+    return names
+
+
+@dataclass(frozen=True)
+class SymmetricPair:
+    """One write/read pair discovered by VL004."""
+
+    suffix: str
+    write_name: str
+    read_name: str
+    class_name: Optional[str] = None  # None for module-level functions
+
+
+def _partner_class(name: str) -> Optional[str]:
+    for write_tag, read_tag in _CLASS_PARTNERS:
+        if write_tag in name:
+            return name.replace(write_tag, read_tag)
+    return None
+
+
+def _functions_by_suffix(
+    fns: Dict[str, ast.FunctionDef], prefixes: Tuple[str, ...]
+) -> Dict[str, ast.FunctionDef]:
+    out: Dict[str, ast.FunctionDef] = {}
+    for name, fn in fns.items():
+        suffix = _split_prefix(name, prefixes)
+        if suffix is not None:
+            out[suffix] = fn
+    return out
+
+
+def discover_pairs(tree: ast.Module) -> List[SymmetricPair]:
+    """All complete write/read pairs in a module (module-level + methods)."""
+    pairs: List[SymmetricPair] = []
+    module_fns = {
+        n.name: n for n in tree.body if isinstance(n, ast.FunctionDef)
+    }
+    writes = _functions_by_suffix(module_fns, _WRITE_PREFIXES)
+    reads = _functions_by_suffix(module_fns, _READ_PREFIXES)
+    for suffix in sorted(set(writes) & set(reads)):
+        pairs.append(
+            SymmetricPair(
+                suffix=suffix,
+                write_name=writes[suffix].name,
+                read_name=reads[suffix].name,
+            )
+        )
+    classes = {
+        n.name: n for n in tree.body if isinstance(n, ast.ClassDef)
+    }
+    for cls_name in sorted(classes):
+        partner_name = _partner_class(cls_name)
+        if partner_name is None or partner_name not in classes:
+            continue
+        write_methods = _methods(classes[cls_name])
+        read_methods = _methods(classes[partner_name])
+        w = _functions_by_suffix(write_methods, _WRITE_PREFIXES)
+        r = _functions_by_suffix(read_methods, _READ_PREFIXES)
+        for suffix in sorted(set(w) & set(r)):
+            pairs.append(
+                SymmetricPair(
+                    suffix=suffix,
+                    write_name=w[suffix].name,
+                    read_name=r[suffix].name,
+                    class_name=cls_name,
+                )
+            )
+    return pairs
+
+
+def _methods(cls: ast.ClassDef) -> Dict[str, ast.FunctionDef]:
+    return {
+        n.name: n for n in cls.body if isinstance(n, ast.FunctionDef)
+    }
+
+
+@register
+class SymmetryChecker(Checker):
+    rule = "VL004"
+    title = "write_*/read_* bitstream asymmetry"
+
+    def check(self, module: ModuleInfo) -> List[Finding]:
+        if not (
+            module.module == SYMMETRY_PACKAGE
+            or module.module.startswith(SYMMETRY_PACKAGE + ".")
+        ):
+            return []
+        if module.is_package_init:
+            return []
+        findings: List[Finding] = []
+        module_fns = {
+            n.name: n
+            for n in module.tree.body
+            if isinstance(n, ast.FunctionDef)
+        }
+        findings.extend(
+            self._check_group(
+                module,
+                module_fns,
+                module_fns,
+                drop_self=False,
+                where="module",
+            )
+        )
+        classes = {
+            n.name: n
+            for n in module.tree.body
+            if isinstance(n, ast.ClassDef)
+        }
+        for cls_name, cls in sorted(classes.items()):
+            partner_name = _partner_class(cls_name)
+            if partner_name is None:
+                continue
+            partner = classes.get(partner_name)
+            if partner is None:
+                continue
+            findings.extend(
+                self._check_group(
+                    module,
+                    _methods(cls),
+                    _methods(partner),
+                    drop_self=True,
+                    where=f"{cls_name}/{partner_name}",
+                )
+            )
+        return findings
+
+    def _check_group(
+        self,
+        module: ModuleInfo,
+        write_side: Dict[str, ast.FunctionDef],
+        read_side: Dict[str, ast.FunctionDef],
+        drop_self: bool,
+        where: str,
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        writes = _functions_by_suffix(write_side, _WRITE_PREFIXES)
+        reads = _functions_by_suffix(read_side, _READ_PREFIXES)
+        for suffix in sorted(set(writes) - set(reads)):
+            fn = writes[suffix]
+            findings.append(
+                self.finding(
+                    module,
+                    fn,
+                    f"{fn.name!r} ({where}) has no mirrored reader; every "
+                    f"writer needs a matching read_/decode_ counterpart",
+                )
+            )
+        for suffix in sorted(set(reads) - set(writes)):
+            fn = reads[suffix]
+            findings.append(
+                self.finding(
+                    module,
+                    fn,
+                    f"{fn.name!r} ({where}) has no mirrored writer; every "
+                    f"reader needs a matching write_/encode_ counterpart",
+                )
+            )
+        for suffix in sorted(set(writes) & set(reads)):
+            findings.extend(
+                self._check_mirror(
+                    module, writes[suffix], reads[suffix], drop_self
+                )
+            )
+        return findings
+
+    def _check_mirror(
+        self,
+        module: ModuleInfo,
+        write_fn: ast.FunctionDef,
+        read_fn: ast.FunctionDef,
+        drop_self: bool,
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        write_params = _params(write_fn, drop_self)
+        read_params = _params(read_fn, drop_self)
+        if not drop_self:
+            # Module-level pairs: first params must be the stream objects.
+            if not write_params or not self._is_stream_param(
+                write_fn, 0, "writ"
+            ):
+                findings.append(
+                    self.finding(
+                        module,
+                        write_fn,
+                        f"{write_fn.name!r} must take the bit writer as "
+                        f"its first parameter",
+                    )
+                )
+            if not read_params or not self._is_stream_param(
+                read_fn, 0, "read"
+            ):
+                findings.append(
+                    self.finding(
+                        module,
+                        read_fn,
+                        f"{read_fn.name!r} must take the bit reader as "
+                        f"its first parameter",
+                    )
+                )
+            write_params = write_params[1:]
+            read_params = read_params[1:]
+        payload = [p for p in write_params if p not in read_params]
+        if not payload:
+            findings.append(
+                self.finding(
+                    module,
+                    write_fn,
+                    f"{write_fn.name!r} codes no payload parameter that "
+                    f"{read_fn.name!r} reconstructs; mirrored signatures "
+                    f"need a value side",
+                )
+            )
+        shared_in_write = [p for p in write_params if p in read_params]
+        shared_in_read = [p for p in read_params if p in write_params]
+        if shared_in_write != shared_in_read:
+            findings.append(
+                self.finding(
+                    module,
+                    read_fn,
+                    f"shared parameters of {write_fn.name!r}/"
+                    f"{read_fn.name!r} disagree in order "
+                    f"({shared_in_write} vs {shared_in_read}); mirrored "
+                    f"signatures must agree",
+                )
+            )
+        return findings
+
+    @staticmethod
+    def _is_stream_param(
+        fn: ast.FunctionDef, index: int, token: str
+    ) -> bool:
+        arg = fn.args.args[index]
+        if token in arg.arg.lower():
+            return True
+        annotation = arg.annotation
+        text = ast.dump(annotation) if annotation is not None else ""
+        return token in text.lower()

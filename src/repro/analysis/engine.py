@@ -1,0 +1,154 @@
+"""The lint engine: discover files, walk them in parallel, merge findings.
+
+Mirrors the execution contract of :mod:`repro.exec.runner`: work fans out
+across a fork-based process pool one *file* at a time, results are collected
+in deterministic order (sorted paths, then per-file findings sorted by
+location), and the serial and parallel paths produce byte-identical
+reports.  Lint findings about nondeterminism had better be deterministic
+themselves.
+
+Module names are inferred from paths: everything after the last ``src``
+path segment (or from the first ``repro`` segment) joined with dots, which
+is how fixture trees under ``tests/fixtures/vlint/src/...`` get linted as
+if they lived in the real package.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import ModuleInfo, all_checkers
+
+__all__ = ["LintReport", "lint_file", "lint_paths", "module_name_for"]
+
+#: Directories never descended into during file discovery.
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules"}
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not any(
+            f.severity is Severity.ERROR for f in self.findings
+        )
+
+
+def module_name_for(path: Union[str, Path]) -> str:
+    """Dotted module name for a source path.
+
+    ``/repo/src/repro/codec/encoder.py`` -> ``repro.codec.encoder`` and
+    ``.../src/repro/exec/__init__.py`` -> ``repro.exec``.  Falls back to
+    the bare stem when neither a ``src`` nor a ``repro`` segment exists.
+    """
+    parts = list(Path(path).parts)
+    parts[-1] = Path(parts[-1]).stem
+    if parts[-1] == "__init__":
+        parts.pop()
+    anchor = 0
+    for index, part in enumerate(parts):
+        if part == "src":
+            anchor = index + 1
+    if anchor == 0 and "repro" in parts:
+        anchor = parts.index("repro")
+    tail = parts[anchor:]
+    return ".".join(tail) if tail else Path(path).stem
+
+
+def iter_python_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    found.add(candidate)
+        elif path.suffix == ".py":
+            found.add(path)
+        elif not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return sorted(found)
+
+
+def lint_file(
+    path: Union[str, Path],
+    module: Optional[str] = None,
+    rules: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Lint one file; findings come back sorted by location."""
+    path = str(path)
+    info = ModuleInfo.from_path(path, module or module_name_for(path))
+    findings: List[Finding] = []
+    for checker in all_checkers(rules):
+        findings.extend(checker.check(info))
+    return sorted(findings, key=Finding.sort_key)
+
+
+def _lint_one(task: Tuple[str, Optional[Tuple[str, ...]]]) -> List[Finding]:
+    """Pool worker: lint one file.  Pure function of its arguments --
+    no module globals are read or written, so it is fork- and spawn-safe.
+    """
+    path, rules = task
+    return lint_file(path, rules=rules)
+
+
+def _pool(jobs: int):
+    if jobs == 1:
+        return nullcontext()
+    import multiprocessing
+
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        context = multiprocessing.get_context()
+    return ProcessPoolExecutor(max_workers=jobs, mp_context=context)
+
+
+def lint_paths(
+    paths: Sequence[Union[str, Path]],
+    rules: Optional[Sequence[str]] = None,
+    baseline: Optional[Baseline] = None,
+    jobs: int = 1,
+) -> LintReport:
+    """Lint every ``.py`` file under ``paths``.
+
+    ``jobs > 1`` fans files out across a process pool; the report is
+    byte-identical to a serial run because files are independent and
+    results are merged in sorted-path order.
+    """
+    if jobs < 1:
+        raise ValueError(f"need at least one job, got {jobs}")
+    files = iter_python_files(paths)
+    rule_tuple = tuple(rules) if rules is not None else None
+    tasks = [(str(path), rule_tuple) for path in files]
+    per_file: Iterable[List[Finding]]
+    with _pool(jobs) as executor:
+        if executor is None:
+            per_file = map(_lint_one, tasks)
+        else:
+            per_file = executor.map(_lint_one, tasks)
+        merged: List[Finding] = []
+        for findings in per_file:
+            merged.extend(findings)
+    report = LintReport(files_checked=len(files))
+    for finding in merged:
+        if baseline is not None and baseline.allows(finding):
+            report.suppressed.append(finding)
+        else:
+            report.findings.append(finding)
+    report.findings.sort(key=Finding.sort_key)
+    report.suppressed.sort(key=Finding.sort_key)
+    return report

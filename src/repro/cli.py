@@ -12,6 +12,7 @@ script).  Commands:
 * ``entropy`` -- measure a clip's entropy (CRF-18 bits/pixel/second).
 * ``analyze`` -- microarchitecture + SIMD profile of encoding a clip.
 * ``chaos``   -- seeded fault-injection run of the transcoding farm.
+* ``lint``    -- the vlint static-analysis pass (VL001-VL005).
 
 Every command prints human-readable rows to stdout and exits non-zero on
 invalid input, so the tools compose in shell pipelines.  Diagnostics that
@@ -133,13 +134,50 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="persistent transcode cache directory",
     )
+
+    lint = sub.add_parser(
+        "lint", help="run the vlint static-analysis pass over the source"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: the installed repro "
+        "package source)",
+    )
+    lint.add_argument(
+        "--json", action="store_true", help="emit a machine-stable JSON report"
+    )
+    lint.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="allowlist of sanctioned findings "
+        "(default: ./.vlint.toml when present)",
+    )
+    lint.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file",
+    )
+    lint.add_argument(
+        "--rules",
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="files linted concurrently (process pool)",
+    )
     return parser
 
 
 def _suite_args(parser: argparse.ArgumentParser) -> None:
+    from repro.constants import SUITE_SELECTION_SEED
+
     parser.add_argument("--profile", default="tiny")
     parser.add_argument("--k", type=int, default=15)
-    parser.add_argument("--seed", type=int, default=2017)
+    parser.add_argument("--seed", type=int, default=SUITE_SELECTION_SEED)
 
 
 def _exec_args(parser: argparse.ArgumentParser) -> None:
@@ -378,6 +416,35 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from pathlib import Path
+
+    import repro
+    from repro.analysis.baseline import load_baseline
+    from repro.analysis.engine import lint_paths
+    from repro.analysis.reporters import render_json, render_text
+
+    paths = args.paths or [str(Path(repro.__file__).parent)]
+    baseline = None
+    if not args.no_baseline:
+        baseline_path = args.baseline or ".vlint.toml"
+        if args.baseline or Path(baseline_path).exists():
+            baseline = load_baseline(baseline_path)
+    rules = (
+        [r.strip() for r in args.rules.split(",") if r.strip()]
+        if args.rules
+        else None
+    )
+    report = lint_paths(
+        paths, rules=rules, baseline=baseline, jobs=args.jobs
+    )
+    if args.json:
+        print(render_json(report))
+    else:
+        print(render_text(report))
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "suite": _cmd_suite,
     "run": _cmd_run,
@@ -388,6 +455,7 @@ _COMMANDS = {
     "entropy": _cmd_entropy,
     "analyze": _cmd_analyze,
     "chaos": _cmd_chaos,
+    "lint": _cmd_lint,
 }
 
 

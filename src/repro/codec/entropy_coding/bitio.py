@@ -71,6 +71,12 @@ class BitWriter:
         )
         self._bits += nbits
 
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit."""
+        if bit not in (0, 1):
+            raise ValueError(f"bit must be 0 or 1, got {bit}")
+        self.write(bit, 1)
+
     def write_array(self, values: np.ndarray, lengths: np.ndarray) -> None:
         """Append many codewords at once (the vectorized fast path)."""
         values = np.asarray(values, dtype=np.int64)
@@ -150,6 +156,17 @@ class BitReader:
         bit = int(self._bits[self._pos])
         self._pos += 1
         return bit
+
+    def read_array(self, lengths: np.ndarray) -> np.ndarray:
+        """Read one codeword per entry of ``lengths`` (mirror of
+        :meth:`BitWriter.write_array`; the caller supplies the bit lengths,
+        which the stream itself does not delimit)."""
+        lengths = np.asarray(lengths, dtype=np.int64)
+        if lengths.ndim != 1:
+            raise ValueError("lengths must be a 1-D array")
+        return np.array(
+            [self.read(int(nbits)) for nbits in lengths], dtype=np.int64
+        )
 
     def count_zeros(self) -> int:
         """Consume and count zero bits up to (not including) the next 1.

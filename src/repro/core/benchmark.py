@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.constants import SUITE_SELECTION_SEED
 from repro.corpus.synthetic import PROFILES, RenderProfile, SyntheticCorpus
 from repro.encoders.base import Transcoder, TranscodeResult
 from repro.encoders.registry import get_transcoder
@@ -102,7 +103,7 @@ _SELECTION_CACHE: Dict[Tuple[str, int, int], Tuple[SelectedVideo, ...]] = {}
 def vbench_suite(
     profile: str = "fast",
     k: int = 15,
-    seed: int = 2017,
+    seed: int = SUITE_SELECTION_SEED,
     corpus: Optional[SyntheticCorpus] = None,
 ) -> BenchmarkSuite:
     """Build the vbench suite (selection cached, suite always isolated).

@@ -25,6 +25,7 @@ from typing import Dict, List
 
 import numpy as np
 
+from repro.constants import XIPH_DATASET_SEED
 from repro.corpus.category import VideoCategory
 
 __all__ = ["PUBLIC_DATASETS", "dataset_categories", "coverage_set"]
@@ -42,7 +43,7 @@ def _netflix() -> List[VideoCategory]:
 
 def _xiph() -> List[VideoCategory]:
     """Derf's collection: 41 clips, 480p-4K, entropy >= 1."""
-    rng = np.random.default_rng(41)
+    rng = np.random.default_rng(XIPH_DATASET_SEED)
     resolutions = [(854, 480)] * 6 + [(1280, 720)] * 12 + [(1920, 1080)] * 17 + [
         (3840, 2160)
     ] * 6

@@ -140,9 +140,9 @@ def _corrupt(video: Video) -> Video:
     """
     frames = [
         Frame(
-            y=(255 - f.y).astype(np.uint8),
-            u=(f.u.astype(np.int16) + 128).astype(np.uint8),
-            v=(f.v.astype(np.int16) + 128).astype(np.uint8),
+            y=np.clip(255 - f.y.astype(np.int16), 0, 255).astype(np.uint8),
+            u=((f.u.astype(np.int16) + 128) % 256).astype(np.uint8),
+            v=((f.v.astype(np.int16) + 128) % 256).astype(np.uint8),
         )
         for f in video.frames
     ]

@@ -1,0 +1,14 @@
+"""VL005 violation fixture: a package __init__ with export drift.
+
+Linted by tests/test_vlint.py, never imported or executed.
+"""
+
+from math import sqrt, tau
+
+__all__ = [
+    "sqrt",
+    "phantom_export",  # VL005: never bound in this module
+]
+
+# VL005: 'tau' is bound (imported above) but missing from __all__.
+_PRIVATE = tau

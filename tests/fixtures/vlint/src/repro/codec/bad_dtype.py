@@ -1,0 +1,28 @@
+"""VL002 violation fixture: uint8 wraparound hazards.
+
+Linted by tests/test_vlint.py, never imported or executed.
+"""
+
+import numpy as np
+
+
+def residual_wraps(plane_bytes: bytes) -> np.ndarray:
+    frame = np.frombuffer(plane_bytes, dtype=np.uint8)
+    prediction = np.zeros(frame.shape, dtype=np.uint8)
+    return frame - prediction  # VL002: uint8 arithmetic without widening
+
+
+def unclipped_narrowing(values: np.ndarray) -> np.ndarray:
+    scaled = values * 1.5
+    return scaled.astype(np.uint8)  # VL002: narrowing cast without clip
+
+
+def safe_roundtrip(values: np.ndarray) -> np.ndarray:
+    # NOT a violation: clip dominates the narrowing cast.
+    limited = np.clip(values, 0, 255)
+    return np.rint(limited).astype(np.uint8)
+
+
+def safe_mask(values: np.ndarray) -> np.ndarray:
+    # NOT a violation: explicit range-limiting mask.
+    return (values & 0xFF).astype(np.uint8)

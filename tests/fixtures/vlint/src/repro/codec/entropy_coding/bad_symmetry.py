@@ -1,0 +1,33 @@
+"""VL004 violation fixture: bitstream writers without mirrored readers.
+
+Linted by tests/test_vlint.py, never imported or executed.
+"""
+
+
+def write_orphan(writer, value: int) -> None:  # VL004: no read_orphan
+    writer.write(value, 8)
+
+
+def read_widow(reader) -> int:  # VL004: no write_widow
+    return reader.read(8)
+
+
+def write_twisted(writer, flag: int, count: int, value: int) -> None:
+    writer.write(flag, 1)
+    writer.write(count, 4)
+    writer.write(value, 8)
+
+
+def read_twisted(reader, count: int, flag: int) -> int:
+    # VL004: shared parameters (flag, count) disagree in order.
+    del count, flag
+    return reader.read(8)
+
+
+def write_pure(writer, value: int) -> None:
+    # NOT a violation: read_pure mirrors it.
+    writer.write(value, 16)
+
+
+def read_pure(reader) -> int:
+    return reader.read(16)

@@ -1,0 +1,39 @@
+"""VL003 violation fixture: impure / unpicklable pool workers.
+
+Linted by tests/test_vlint.py, never imported or executed.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+COUNTER = 0
+RESULTS = {}
+
+
+def leaky_worker(task: int) -> int:
+    global COUNTER  # VL003: worker writes module globals
+    COUNTER += 1
+    return task * 2
+
+
+def stateful_worker(task: int) -> int:
+    RESULTS[task] = task * 2  # VL003: mutates module-level container
+    return RESULTS[task]
+
+
+def defaulted_worker(task: int, scratch=[]) -> int:  # VL003: mutable default
+    scratch.append(task)
+    return len(scratch)
+
+
+def dispatch(tasks):
+    with ProcessPoolExecutor() as executor:
+        doubled = list(executor.map(leaky_worker, tasks))
+        stored = list(executor.map(stateful_worker, tasks))
+        counted = list(executor.map(defaulted_worker, tasks))
+        inline = list(executor.map(lambda t: t + 1, tasks))  # VL003: lambda
+
+        def closure_worker(task: int) -> int:
+            return task + len(doubled)
+
+        nested = list(executor.map(closure_worker, tasks))  # VL003: nested
+    return doubled, stored, counted, inline, nested

@@ -1,0 +1,477 @@
+"""vlint static analysis: self-hosting, fixtures, baseline, reporters, CLI.
+
+The big contracts under test:
+
+* **Self-hosting** -- the repo's own source tree lints clean (and the CI
+  gate runs exactly this pass), so every determinism/dtype/fork/symmetry
+  invariant the checkers encode holds in `src/`.
+* **Each rule fires** -- the seeded violation fixtures under
+  ``tests/fixtures/vlint`` trip every rule, and the CLI exits non-zero on
+  them.
+* **Deterministic output** -- parallel and serial runs render
+  byte-identical reports, and the JSON form is stable and parseable.
+* **Static symmetry is backed by behaviour** -- the write/read pairs
+  VL004 discovers in ``entropy_coding`` round-trip seeded random values.
+"""
+
+import ast
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    Baseline,
+    BaselineEntry,
+    Finding,
+    Severity,
+    discover_pairs,
+    known_rules,
+    lint_file,
+    lint_paths,
+    load_baseline,
+    module_name_for,
+    parse_baseline,
+    render_json,
+    render_text,
+)
+from repro.cli import main
+from repro.codec.entropy_coding.bitio import BitReader, BitWriter
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src" / "repro"
+FIXTURES = REPO / "tests" / "fixtures" / "vlint"
+
+
+def rules_in(findings):
+    return {f.rule for f in findings}
+
+
+# ---------------------------------------------------------------------------
+# Self-hosting: the repo must satisfy its own invariants
+# ---------------------------------------------------------------------------
+
+
+class TestSelfHosting:
+    def test_source_tree_lints_clean(self):
+        report = lint_paths([SRC])
+        assert report.findings == [], render_text(report)
+        assert report.ok
+        assert report.files_checked > 80
+
+    def test_all_five_rules_registered(self):
+        assert known_rules() == ["VL001", "VL002", "VL003", "VL004", "VL005"]
+
+
+# ---------------------------------------------------------------------------
+# Rule fixtures: every checker fires on its seeded violations
+# ---------------------------------------------------------------------------
+
+
+class TestDeterminismRule:
+    FIXTURE = FIXTURES / "src" / "repro" / "codec" / "bad_determinism.py"
+
+    def test_fires(self):
+        findings = lint_file(self.FIXTURE)
+        assert rules_in(findings) == {"VL001"}
+        messages = " | ".join(f.message for f in findings)
+        assert "without a seed" in messages
+        assert "global random module" in messages
+        assert "time.time()" in messages
+        assert "wall_seconds" in messages
+        assert "cache_key" in messages
+
+    def test_sanctioned_wall_seconds_site_not_flagged(self):
+        findings = lint_file(self.FIXTURE)
+        source = self.FIXTURE.read_text()
+        sanctioned_line = (
+            source[: source.index("def sanctioned_measurement")].count("\n")
+            + 1
+        )
+        assert all(f.line < sanctioned_line for f in findings)
+
+    def test_out_of_scope_module_ignored(self, tmp_path):
+        # Same code outside repro.codec/exec/robust is not VL001's business.
+        path = tmp_path / "src" / "repro" / "metrics" / "timing.py"
+        path.parent.mkdir(parents=True)
+        path.write_text("import time\n\nNOW = time.time()\n")
+        assert lint_file(path, rules=["VL001"]) == []
+
+    def test_scoped_module_caught(self, tmp_path):
+        path = tmp_path / "src" / "repro" / "robust" / "leak.py"
+        path.parent.mkdir(parents=True)
+        path.write_text("import time\n\nNOW = time.time()\n")
+        assert rules_in(lint_file(path, rules=["VL001"])) == {"VL001"}
+
+
+class TestDtypeRule:
+    FIXTURE = FIXTURES / "src" / "repro" / "codec" / "bad_dtype.py"
+
+    def test_fires(self):
+        findings = lint_file(self.FIXTURE)
+        assert rules_in(findings) == {"VL002"}
+        messages = " | ".join(f.message for f in findings)
+        assert "wraps at 0/255" in messages
+        assert "np.clip" in messages
+
+    def test_guarded_sites_not_flagged(self):
+        findings = lint_file(self.FIXTURE)
+        source = self.FIXTURE.read_text().splitlines()
+        for finding in findings:
+            assert "safe_" not in source[finding.line - 1]
+
+
+class TestForkSafetyRule:
+    FIXTURE = FIXTURES / "src" / "repro" / "exec" / "bad_forksafety.py"
+
+    def test_fires(self):
+        findings = lint_file(self.FIXTURE)
+        assert rules_in(findings) == {"VL003"}
+        messages = " | ".join(f.message for f in findings)
+        assert "global COUNTER" in messages
+        assert "mutates module-level state 'RESULTS'" in messages
+        assert "mutable default" in messages
+        assert "lambda" in messages
+        assert "nested function" in messages
+        assert len(findings) == 5
+
+
+class TestSymmetryRule:
+    FIXTURE = (
+        FIXTURES
+        / "src"
+        / "repro"
+        / "codec"
+        / "entropy_coding"
+        / "bad_symmetry.py"
+    )
+
+    def test_fires(self):
+        findings = lint_file(self.FIXTURE)
+        assert rules_in(findings) == {"VL004"}
+        messages = " | ".join(f.message for f in findings)
+        assert "write_orphan" in messages
+        assert "read_widow" in messages
+        assert "disagree in order" in messages
+
+    def test_mirrored_pair_not_flagged(self):
+        findings = lint_file(self.FIXTURE)
+        assert not any("pure" in f.message for f in findings)
+
+    def test_discovery_matches_fixture(self):
+        tree = ast.parse(self.FIXTURE.read_text())
+        pairs = discover_pairs(tree)
+        assert {p.suffix for p in pairs} == {"twisted", "pure"}
+
+
+class TestExportSyncRule:
+    FIXTURE = FIXTURES / "src" / "repro" / "badpkg" / "__init__.py"
+
+    def test_fires(self):
+        findings = lint_file(self.FIXTURE)
+        assert rules_in(findings) == {"VL005"}
+        messages = " | ".join(f.message for f in findings)
+        assert "phantom_export" in messages
+        assert "'tau'" in messages
+
+    def test_missing_all_flagged(self, tmp_path):
+        pkg = tmp_path / "src" / "repro" / "nopkg"
+        pkg.mkdir(parents=True)
+        init = pkg / "__init__.py"
+        init.write_text('"""No __all__ here."""\n\nVALUE = 1\n')
+        findings = lint_file(init, rules=["VL005"])
+        assert len(findings) == 1
+        assert "no __all__" in findings[0].message
+
+    def test_clean_init_passes(self, tmp_path):
+        pkg = tmp_path / "src" / "repro" / "okpkg"
+        pkg.mkdir(parents=True)
+        init = pkg / "__init__.py"
+        init.write_text(
+            "from math import sqrt\n\n__all__ = [\"sqrt\"]\n"
+        )
+        assert lint_file(init, rules=["VL005"]) == []
+
+
+# ---------------------------------------------------------------------------
+# Engine: determinism, parallelism, module naming
+# ---------------------------------------------------------------------------
+
+
+class TestEngine:
+    def test_parallel_report_byte_identical_to_serial(self):
+        serial = lint_paths([FIXTURES])
+        parallel = lint_paths([FIXTURES], jobs=3)
+        assert render_json(serial) == render_json(parallel)
+        assert render_text(serial) == render_text(parallel)
+
+    def test_rules_filter(self):
+        report = lint_paths([FIXTURES], rules=["VL004"])
+        assert rules_in(report.findings) == {"VL004"}
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValueError, match="unknown lint rule"):
+            lint_paths([FIXTURES], rules=["VL999"])
+
+    def test_missing_path_rejected(self):
+        with pytest.raises(FileNotFoundError):
+            lint_paths([FIXTURES / "no_such_dir"])
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError, match="at least one job"):
+            lint_paths([FIXTURES], jobs=0)
+
+    def test_module_name_inference(self):
+        assert (
+            module_name_for("src/repro/codec/encoder.py")
+            == "repro.codec.encoder"
+        )
+        assert module_name_for("src/repro/exec/__init__.py") == "repro.exec"
+        assert (
+            module_name_for("tests/fixtures/vlint/src/repro/codec/x.py")
+            == "repro.codec.x"
+        )
+        assert module_name_for("standalone.py") == "standalone"
+
+    def test_findings_sorted(self):
+        report = lint_paths([FIXTURES])
+        keys = [f.sort_key() for f in report.findings]
+        assert keys == sorted(keys)
+
+
+# ---------------------------------------------------------------------------
+# Baseline
+# ---------------------------------------------------------------------------
+
+
+class TestBaseline:
+    def test_baseline_suppresses_matching_findings(self):
+        baseline = Baseline(
+            entries=(
+                BaselineEntry(
+                    rule="VL005",
+                    path="src/repro/badpkg/__init__.py",
+                    reason="fixture",
+                ),
+            )
+        )
+        report = lint_paths([FIXTURES], baseline=baseline)
+        assert "VL005" not in rules_in(report.findings)
+        assert rules_in(report.suppressed) == {"VL005"}
+
+    def test_line_scoped_entry(self):
+        finding = Finding(
+            rule="VL001", path="src/a.py", line=10, column=1, message="m"
+        )
+        hit = BaselineEntry(rule="VL001", path="src/a.py", reason="r", line=10)
+        miss = BaselineEntry(rule="VL001", path="src/a.py", reason="r", line=9)
+        assert hit.matches(finding)
+        assert not miss.matches(finding)
+
+    def test_parse_roundtrip(self):
+        text = (
+            "# comment\n"
+            "[[allow]]\n"
+            'rule = "VL002"\n'
+            'path = "src/x.py"\n'
+            "line = 12\n"
+            'reason = "intentional wrap # really"\n'
+        )
+        baseline = parse_baseline(text)
+        assert baseline.entries == (
+            BaselineEntry(
+                rule="VL002",
+                path="src/x.py",
+                reason="intentional wrap # really",
+                line=12,
+            ),
+        )
+
+    def test_reason_is_mandatory(self):
+        with pytest.raises(ValueError, match="reason"):
+            parse_baseline('[[allow]]\nrule = "VL001"\npath = "x.py"\n')
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown key"):
+            parse_baseline(
+                '[[allow]]\nrule = "VL001"\npath = "x"\nreason = "r"\n'
+                'excuse = "no"\n'
+            )
+
+    def test_shipped_baseline_parses_and_is_empty(self):
+        baseline = load_baseline(REPO / ".vlint.toml")
+        assert baseline.entries == ()
+
+
+# ---------------------------------------------------------------------------
+# Reporters
+# ---------------------------------------------------------------------------
+
+
+class TestReporters:
+    def test_json_is_stable_and_parseable(self):
+        once = render_json(lint_paths([FIXTURES]))
+        twice = render_json(lint_paths([FIXTURES], jobs=2))
+        assert once == twice
+        payload = json.loads(once)
+        assert payload["version"] == 1
+        assert payload["ok"] is False
+        assert payload["files_checked"] == 5
+        finding = payload["findings"][0]
+        assert set(finding) == {
+            "rule", "path", "line", "column", "message", "severity",
+        }
+        assert all(
+            f["severity"] == Severity.ERROR.value
+            for f in payload["findings"]
+        )
+
+    def test_text_summary_counts(self):
+        report = lint_paths([FIXTURES])
+        text = render_text(report)
+        assert f"{len(report.findings)} findings" in text
+        assert "in 5 files" in text
+
+
+# ---------------------------------------------------------------------------
+# CLI: the CI gate
+# ---------------------------------------------------------------------------
+
+
+class TestLintCli:
+    def test_repo_lints_clean(self, capsys):
+        assert main(["lint", str(SRC)]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_nonzero_on_each_rule_fixture(self, capsys):
+        fixture_files = sorted(FIXTURES.rglob("*.py"))
+        assert len(fixture_files) == 5
+        for path in fixture_files:
+            assert main(["lint", str(path)]) == 1, path
+        capsys.readouterr()
+
+    def test_json_output(self, capsys):
+        assert main(["lint", "--json", str(FIXTURES)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert len(payload["findings"]) > 0
+
+    def test_rules_filter(self, capsys):
+        assert main(["lint", "--rules", "VL005", str(FIXTURES)]) == 1
+        out = capsys.readouterr().out
+        assert "VL005" in out
+        assert "VL001" not in out
+
+    def test_baseline_flag(self, tmp_path, capsys):
+        baseline = tmp_path / "allow.toml"
+        baseline.write_text(
+            "[[allow]]\n"
+            'rule = "VL005"\n'
+            'path = "src/repro/badpkg/__init__.py"\n'
+            'reason = "fixture is intentionally broken"\n'
+        )
+        fixture = FIXTURES / "src" / "repro" / "badpkg" / "__init__.py"
+        assert main(
+            ["lint", "--baseline", str(baseline), str(fixture)]
+        ) == 0
+        assert "2 baselined" in capsys.readouterr().out
+
+    def test_jobs_flag_output_identical(self, capsys):
+        main(["lint", "--json", str(FIXTURES)])
+        serial = capsys.readouterr().out
+        main(["lint", "--json", "--jobs", "2", str(FIXTURES)])
+        assert capsys.readouterr().out == serial
+
+    def test_missing_path_is_error(self, capsys):
+        assert main(["lint", "definitely/not/a/path"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# VL004-discovered pairs round-trip behaviourally (satellite)
+# ---------------------------------------------------------------------------
+
+
+def entropy_coding_pairs():
+    package = SRC / "codec" / "entropy_coding"
+    out = []
+    for path in sorted(package.glob("*.py")):
+        if path.name == "__init__.py":
+            continue
+        for pair in discover_pairs(ast.parse(path.read_text())):
+            out.append((path.stem, pair))
+    return out
+
+
+class TestSymmetryRoundTrip:
+    def test_discovery_finds_the_known_pairs(self):
+        found = {
+            (module, pair.class_name, pair.suffix)
+            for module, pair in entropy_coding_pairs()
+        }
+        assert ("expgolomb", None, "ue") in found
+        assert ("expgolomb", None, "se") in found
+        assert ("bitio", "BitWriter", "") in found
+        assert ("bitio", "BitWriter", "bit") in found
+        assert ("bitio", "BitWriter", "array") in found
+        assert ("bitio", "BitWriter", "bytes") in found
+        assert ("cabac", "CabacEncoder", "bit") in found
+        assert ("cabac", "CabacEncoder", "blocks") in found
+
+    def test_module_level_pairs_roundtrip_random_values(self):
+        import repro.codec.entropy_coding.expgolomb as expgolomb
+
+        rng = np.random.default_rng(1234)
+        pairs = [
+            pair
+            for module, pair in entropy_coding_pairs()
+            if module == "expgolomb" and pair.class_name is None
+        ]
+        assert pairs, "expected module-level write_/read_ pairs"
+        for pair in pairs:
+            write = getattr(expgolomb, pair.write_name)
+            read = getattr(expgolomb, pair.read_name)
+            if pair.suffix == "se":
+                values = rng.integers(-50_000, 50_000, size=200)
+            else:
+                values = rng.integers(0, 100_000, size=200)
+            writer = BitWriter()
+            for value in values:
+                write(writer, int(value))
+            reader = BitReader(writer.getvalue())
+            decoded = [read(reader) for _ in values]
+            assert decoded == [int(v) for v in values], pair
+
+    def test_bitio_method_pairs_roundtrip(self):
+        rng = np.random.default_rng(99)
+        lengths = rng.integers(1, 20, size=64)
+        values = np.array(
+            [int(rng.integers(0, 1 << int(n))) for n in lengths],
+            dtype=np.int64,
+        )
+        bits = rng.integers(0, 2, size=32)
+
+        writer = BitWriter()
+        for bit in bits:
+            writer.write_bit(int(bit))
+        writer.align()
+        writer.write_array(values, lengths)
+        writer.align()
+        writer.write_bytes(b"vbench")
+
+        reader = BitReader(writer.getvalue())
+        assert [reader.read_bit() for _ in bits] == [int(b) for b in bits]
+        reader.align()
+        decoded = reader.read_array(lengths)
+        assert decoded.tolist() == values.tolist()
+        reader.align()
+        assert reader.read_bytes(6) == b"vbench"
+
+    def test_write_bit_rejects_non_bits(self):
+        with pytest.raises(ValueError, match="bit must be 0 or 1"):
+            BitWriter().write_bit(2)
+
+    def test_read_array_rejects_bad_shape(self):
+        with pytest.raises(ValueError, match="1-D"):
+            BitReader(b"\x00").read_array(np.zeros((2, 2), dtype=np.int64))
