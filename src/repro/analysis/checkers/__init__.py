@@ -13,10 +13,13 @@ Importing this package registers every checker with
   writer has a mirrored reader.
 * **VL005** :mod:`~repro.analysis.checkers.exports` -- package
   ``__all__`` matches what is actually bound.
+* **VL006** :mod:`~repro.analysis.checkers.exceptions` -- codec decode
+  paths raise only the bitstream error taxonomy.
 """
 
 from repro.analysis.checkers.determinism import DeterminismChecker
 from repro.analysis.checkers.dtype_safety import DtypeSafetyChecker
+from repro.analysis.checkers.exceptions import ExceptionHygieneChecker
 from repro.analysis.checkers.exports import ExportSyncChecker
 from repro.analysis.checkers.fork_safety import ForkSafetyChecker
 from repro.analysis.checkers.symmetry import (
@@ -28,6 +31,7 @@ from repro.analysis.checkers.symmetry import (
 __all__ = [
     "DeterminismChecker",
     "DtypeSafetyChecker",
+    "ExceptionHygieneChecker",
     "ExportSyncChecker",
     "ForkSafetyChecker",
     "SymmetricPair",

@@ -3,7 +3,7 @@
 The benchmark's scoring contract (byte-identical parallel/cached reports,
 replayable chaos runs) only holds if the encode path is a pure function of
 its inputs.  Inside the deterministic packages (``repro.codec``,
-``repro.exec``, ``repro.robust``) this rule bans:
+``repro.exec``, ``repro.fuzz``, ``repro.robust``) this rule bans:
 
 * ``np.random.default_rng()`` called without a seed;
 * draws from the global ``random`` module (``random.random()``,
@@ -30,7 +30,12 @@ from repro.analysis.registry import Checker, ModuleInfo, register
 __all__ = ["DeterminismChecker"]
 
 #: Packages whose modules must be deterministic.
-DETERMINISTIC_PACKAGES = ("repro.codec", "repro.exec", "repro.robust")
+DETERMINISTIC_PACKAGES = (
+    "repro.codec",
+    "repro.exec",
+    "repro.fuzz",
+    "repro.robust",
+)
 
 #: ``random`` module attributes that pin or construct streams (allowed).
 _RANDOM_ALLOWED = {"seed", "Random", "SystemRandom", "getstate", "setstate"}

@@ -1,0 +1,127 @@
+"""VL006: exception hygiene -- decode paths raise only the error taxonomy.
+
+The decoder's untrusted-input contract (see :mod:`repro.codec.errors` and
+the fuzz oracle in :mod:`repro.fuzz.oracle`) is that any malformed input
+surfaces as a :class:`~repro.codec.errors.BitstreamError` subclass --
+``TruncatedStream``, ``CorruptPayload``, or ``HeaderError`` -- never as a
+raw ``ValueError``/``EOFError`` leaking from some inner helper.  Callers
+(concealment, the fuzz oracle, the farm's stream-corruption path) catch
+exactly ``BitstreamError``; a foreign exception escaping a decode path is
+a crash, and the fuzzer treats it as an oracle violation.
+
+Inside :mod:`repro.codec` this rule checks every *decode-path* function --
+a module-level function or method named ``read_*``/``decode_*`` (or bare
+``read``/``decode``, leading underscores ignored), plus **every** method
+of a class whose name contains ``Decoder`` or ``Reader`` -- and requires
+each ``raise`` in it to be one of:
+
+* a taxonomy name (``BitstreamError``, ``TruncatedStream``,
+  ``CorruptPayload``, ``HeaderError``),
+* ``TypeError`` (caller misuse: bad argument types/shapes are the
+  caller's bug, not the stream's), ``NotImplementedError``,
+* a bare ``raise`` (re-raising inside an ``except`` block).
+
+The write side is exempt: encoder bugs should fail loudly with whatever
+exception is most informative, because encoder inputs are trusted.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Checker, ModuleInfo, register
+
+__all__ = ["ExceptionHygieneChecker"]
+
+#: Package whose decode paths carry the untrusted-input contract.
+CODEC_PACKAGE = "repro.codec"
+
+#: Exception names the taxonomy sanctions on a decode path.
+TAXONOMY = frozenset(
+    {"BitstreamError", "TruncatedStream", "CorruptPayload", "HeaderError"}
+)
+
+_ALLOWED = TAXONOMY | {"TypeError", "NotImplementedError"}
+
+_DECODE_PREFIXES = ("read_", "decode_")
+_DECODE_CLASS_TAGS = ("Decoder", "Reader")
+
+
+def _is_decode_name(name: str) -> bool:
+    bare = name.lstrip("_")
+    return bare in ("read", "decode") or bare.startswith(_DECODE_PREFIXES)
+
+
+def _is_decode_class(name: str) -> bool:
+    return any(tag in name for tag in _DECODE_CLASS_TAGS)
+
+
+def _raised_name(exc: ast.expr) -> Optional[str]:
+    """Name of the exception a ``raise`` constructs ('' when dynamic)."""
+    target = exc
+    if isinstance(target, ast.Call):
+        target = target.func
+    if isinstance(target, ast.Attribute):
+        return target.attr
+    if isinstance(target, ast.Name):
+        return target.id
+    return None
+
+
+@register
+class ExceptionHygieneChecker(Checker):
+    rule = "VL006"
+    title = "decode paths may only raise the bitstream error taxonomy"
+
+    def check(self, module: ModuleInfo) -> List[Finding]:
+        if not (
+            module.module == CODEC_PACKAGE
+            or module.module.startswith(CODEC_PACKAGE + ".")
+        ):
+            return []
+        if module.is_package_init:
+            return []
+        findings: List[Finding] = []
+        for node in module.tree.body:
+            if isinstance(node, ast.FunctionDef) and _is_decode_name(
+                node.name
+            ):
+                findings.extend(self._check_function(module, node, node.name))
+            elif isinstance(node, ast.ClassDef):
+                all_methods = _is_decode_class(node.name)
+                for item in node.body:
+                    if not isinstance(item, ast.FunctionDef):
+                        continue
+                    if all_methods or _is_decode_name(item.name):
+                        findings.extend(
+                            self._check_function(
+                                module, item, f"{node.name}.{item.name}"
+                            )
+                        )
+        return findings
+
+    def _check_function(
+        self, module: ModuleInfo, fn: ast.FunctionDef, where: str
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Raise):
+                continue
+            if node.exc is None:  # bare re-raise
+                continue
+            name = _raised_name(node.exc)
+            if name is None or name in _ALLOWED:
+                continue
+            findings.append(
+                self.finding(
+                    module,
+                    node,
+                    f"decode path {where!r} raises {name}; malformed input "
+                    f"must surface as a BitstreamError subclass "
+                    f"(TruncatedStream/CorruptPayload/HeaderError) so "
+                    f"concealment and the fuzz oracle can catch it",
+                )
+            )
+        return findings

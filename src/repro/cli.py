@@ -12,7 +12,8 @@ script).  Commands:
 * ``entropy`` -- measure a clip's entropy (CRF-18 bits/pixel/second).
 * ``analyze`` -- microarchitecture + SIMD profile of encoding a clip.
 * ``chaos``   -- seeded fault-injection run of the transcoding farm.
-* ``lint``    -- the vlint static-analysis pass (VL001-VL005).
+* ``fuzz``    -- deterministic structured fuzzing of the decoder.
+* ``lint``    -- the vlint static-analysis pass (VL001-VL006).
 
 Every command prints human-readable rows to stdout and exits non-zero on
 invalid input, so the tools compose in shell pipelines.  Diagnostics that
@@ -114,6 +115,12 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--straggler-factor", type=float, default=20.0)
     chaos.add_argument("--corrupt-rate", type=float, default=0.05)
     chaos.add_argument(
+        "--corrupt-stream-rate",
+        type=float,
+        default=0.0,
+        help="rate of bitstream-level corruption (decoder conceals damage)",
+    )
+    chaos.add_argument(
         "--dead",
         action="append",
         default=[],
@@ -133,6 +140,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache",
         metavar="DIR",
         help="persistent transcode cache directory",
+    )
+
+    fuzz = sub.add_parser(
+        "fuzz", help="fuzz the decoder with seeded structured mutations"
+    )
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument(
+        "--budget", type=int, default=1000, help="number of mutated decodes"
+    )
+    fuzz.add_argument(
+        "--corpus",
+        metavar="DIR",
+        help="directory for violation reproducers (written and replayed)",
+    )
+    fuzz.add_argument(
+        "--minimize",
+        action="store_true",
+        help="ddmin-shrink each violation before saving it",
+    )
+    fuzz.add_argument(
+        "--max-pixels",
+        type=int,
+        default=None,
+        help="luma-pixel budget a header may demand (default: ~4M)",
+    )
+    fuzz.add_argument(
+        "--replay",
+        metavar="DIR",
+        help="skip the campaign; re-run the oracle over a saved corpus",
     )
 
     lint = sub.add_parser(
@@ -384,6 +420,7 @@ def _cmd_chaos(args) -> int:
         crash_rate=args.crash_rate,
         straggler_rate=args.straggler_rate,
         corrupt_rate=args.corrupt_rate,
+        corrupt_stream_rate=args.corrupt_stream_rate,
         straggler_factor=args.straggler_factor,
         dead_backends=frozenset(args.dead),
     )
@@ -414,6 +451,26 @@ def _cmd_chaos(args) -> int:
             file=sys.stderr,
         )
     return 0
+
+
+def _cmd_fuzz(args) -> int:
+    from repro.fuzz import DEFAULT_MAX_PIXELS, replay_corpus, run_fuzz
+
+    max_pixels = (
+        args.max_pixels if args.max_pixels is not None else DEFAULT_MAX_PIXELS
+    )
+    if args.replay:
+        report = replay_corpus(args.replay, max_pixels=max_pixels)
+    else:
+        report = run_fuzz(
+            seed=args.seed,
+            budget=args.budget,
+            max_pixels=max_pixels,
+            corpus_dir=args.corpus,
+            minimize=args.minimize,
+        )
+    print(report.to_text(), end="")
+    return 0 if report.ok else 1
 
 
 def _cmd_lint(args) -> int:
@@ -455,6 +512,7 @@ _COMMANDS = {
     "entropy": _cmd_entropy,
     "analyze": _cmd_analyze,
     "chaos": _cmd_chaos,
+    "fuzz": _cmd_fuzz,
     "lint": _cmd_lint,
 }
 

@@ -15,19 +15,30 @@ captured by :class:`~repro.codec.presets.EncoderConfig`, with named presets
 mirroring the x264 ladder.
 """
 
-from repro.codec.decoder import Decoder, decode
+from repro.codec.decoder import DecodeResult, Decoder, decode
 from repro.codec.encoder import EncodeResult, Encoder, encode
+from repro.codec.errors import (
+    BitstreamError,
+    CorruptPayload,
+    HeaderError,
+    TruncatedStream,
+)
 from repro.codec.presets import PRESETS, EncoderConfig, preset
 from repro.codec.ratecontrol import RateControl, RateControlMode
 
 __all__ = [
+    "BitstreamError",
+    "CorruptPayload",
+    "DecodeResult",
     "Decoder",
     "EncodeResult",
     "Encoder",
     "EncoderConfig",
+    "HeaderError",
     "PRESETS",
     "RateControl",
     "RateControlMode",
+    "TruncatedStream",
     "decode",
     "encode",
     "preset",

@@ -1,22 +1,60 @@
-"""Bitstream container: the stream header shared by encoder and decoder.
+"""Bitstream container: stream header and error-resilient frame packets.
 
 Only parameters the decoder needs to reconstruct pixels travel in the
 stream (geometry, timing, transform size, entropy coder, loop-filter and
 quantization flags).  Pure encoder-side search settings do not.
+
+Two container versions exist:
+
+* **RPV1** -- the original format: header followed by back-to-back frame
+  payloads with no framing.  A single flipped bit desynchronizes every
+  frame after it.  Still fully decodable.
+* **RPV2** -- the error-resilient format: the header carries a CRC32, and
+  every frame travels in its own byte-aligned packet ``[resync marker |
+  payload length | payload CRC32 | payload]``.  Corruption is detected by
+  the CRC and localized to one frame; the resync marker lets the decoder
+  re-acquire framing after damaged packet headers.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from fractions import Fraction
+from typing import Tuple
 
 from repro.codec.entropy_coding.bitio import BitReader, BitWriter
 from repro.codec.entropy_coding.expgolomb import read_se, write_se
+from repro.codec.errors import CorruptPayload, HeaderError
 
-__all__ = ["StreamHeader", "MAGIC", "write_header", "read_header"]
+__all__ = [
+    "StreamHeader",
+    "MAGIC",
+    "MAGIC_V2",
+    "RESYNC",
+    "PACKET_OVERHEAD_BITS",
+    "write_header",
+    "write_header_v2",
+    "read_header",
+    "read_container_header",
+    "write_frame_packet",
+    "read_frame_packet",
+    "seek_resync",
+    "header_byte_length",
+]
 
 MAGIC = 0x52505631  # "RPV1"
+MAGIC_V2 = 0x52505632  # "RPV2"
 _VERSION = 1
+_VERSION_V2 = 2
+
+#: Byte-aligned marker opening every v2 frame packet ("RSYN").  The
+#: decoder scans for it to re-acquire framing after corruption.
+RESYNC = 0x5253594E
+RESYNC_BYTES = RESYNC.to_bytes(4, "big")
+
+#: Bits of framing per v2 packet: marker + length + CRC32.
+PACKET_OVERHEAD_BITS = 96
 
 
 @dataclass(frozen=True)
@@ -60,6 +98,8 @@ class StreamHeader:
             raise ValueError(f"bad entropy coder {self.entropy_coder!r}")
         if self.references not in (1, 2):
             raise ValueError(f"bad reference count {self.references}")
+        if not -64 <= self.chroma_qp_offset <= 64:
+            raise ValueError(f"bad chroma QP offset {self.chroma_qp_offset}")
 
 
 def fps_fraction(fps: float) -> Fraction:
@@ -70,10 +110,8 @@ def fps_fraction(fps: float) -> Fraction:
     return frac
 
 
-def write_header(writer: BitWriter, header: StreamHeader) -> None:
-    """Serialize the stream header."""
-    writer.write(MAGIC, 32)
-    writer.write(_VERSION, 8)
+def _write_header_fields(writer: BitWriter, header: StreamHeader) -> None:
+    """The header body shared verbatim by both container versions."""
     writer.write(header.width, 16)
     writer.write(header.height, 16)
     writer.write(header.fps_num, 16)
@@ -88,13 +126,7 @@ def write_header(writer: BitWriter, header: StreamHeader) -> None:
     write_se(writer, header.chroma_qp_offset)
 
 
-def read_header(reader: BitReader) -> StreamHeader:
-    """Parse the stream header; raises ``ValueError`` on foreign data."""
-    if reader.read(32) != MAGIC:
-        raise ValueError("not a repro codec bitstream (bad magic)")
-    version = reader.read(8)
-    if version != _VERSION:
-        raise ValueError(f"unsupported bitstream version {version}")
+def _read_header_fields(reader: BitReader) -> StreamHeader:
     width = reader.read(16)
     height = reader.read(16)
     fps_num = reader.read(16)
@@ -107,17 +139,121 @@ def read_header(reader: BitReader) -> StreamHeader:
     chroma_subpel = bool(reader.read(1))
     references = 2 if reader.read(1) else 1
     chroma_qp_offset = read_se(reader)
-    return StreamHeader(
-        width=width,
-        height=height,
-        fps_num=fps_num,
-        fps_den=fps_den,
-        n_frames=n_frames,
-        transform_size=transform_size,
-        entropy_coder=entropy_coder,
-        deblock=deblock,
-        flat_quant=flat_quant,
-        chroma_subpel=chroma_subpel,
-        references=references,
-        chroma_qp_offset=chroma_qp_offset,
-    )
+    try:
+        return StreamHeader(
+            width=width,
+            height=height,
+            fps_num=fps_num,
+            fps_den=fps_den,
+            n_frames=n_frames,
+            transform_size=transform_size,
+            entropy_coder=entropy_coder,
+            deblock=deblock,
+            flat_quant=flat_quant,
+            chroma_subpel=chroma_subpel,
+            references=references,
+            chroma_qp_offset=chroma_qp_offset,
+        )
+    except HeaderError:
+        raise
+    except ValueError as exc:
+        raise HeaderError(f"impossible stream geometry: {exc}") from None
+
+
+def write_header(writer: BitWriter, header: StreamHeader) -> None:
+    """Serialize the v1 stream header (legacy unprotected layout)."""
+    writer.write(MAGIC, 32)
+    writer.write(_VERSION, 8)
+    _write_header_fields(writer, header)
+
+
+def write_header_v2(writer: BitWriter, header: StreamHeader) -> None:
+    """Serialize the v2 stream header: length-prefixed body plus CRC32."""
+    body_writer = BitWriter()
+    _write_header_fields(body_writer, header)
+    body_writer.align()
+    body = body_writer.getvalue()
+    writer.write(MAGIC_V2, 32)
+    writer.write(_VERSION_V2, 8)
+    writer.write(len(body), 8)
+    writer.write_bytes(body)
+    writer.write(zlib.crc32(body) & 0xFFFFFFFF, 32)
+
+
+def read_container_header(reader: BitReader) -> Tuple[StreamHeader, int]:
+    """Parse either container header; returns ``(header, version)``.
+
+    Raises :class:`HeaderError` on foreign magic, unsupported versions,
+    CRC-damaged v2 headers, or impossible geometry.
+    """
+    magic = reader.read(32)
+    if magic == MAGIC:
+        version = reader.read(8)
+        if version != _VERSION:
+            raise HeaderError(f"unsupported bitstream version {version}")
+        return _read_header_fields(reader), _VERSION
+    if magic == MAGIC_V2:
+        version = reader.read(8)
+        if version != _VERSION_V2:
+            raise HeaderError(f"unsupported bitstream version {version}")
+        body_len = reader.read(8)
+        body = reader.read_bytes(body_len)
+        crc = reader.read(32)
+        if zlib.crc32(body) & 0xFFFFFFFF != crc:
+            raise HeaderError("stream header CRC mismatch")
+        return _read_header_fields(BitReader(body)), _VERSION_V2
+    raise HeaderError("not a repro codec bitstream (bad magic)")
+
+
+def read_header(reader: BitReader) -> StreamHeader:
+    """Parse the stream header of either container version."""
+    return read_container_header(reader)[0]
+
+
+def write_frame_packet(writer: BitWriter, payload: bytes) -> None:
+    """Append one v2 frame packet: marker, length, CRC32, payload."""
+    writer.align()
+    writer.write(RESYNC, 32)
+    writer.write(len(payload), 32)
+    writer.write(zlib.crc32(payload) & 0xFFFFFFFF, 32)
+    writer.write_bytes(payload)
+
+
+def read_frame_packet(reader: BitReader) -> bytes:
+    """Read one v2 frame packet, validating marker and CRC.
+
+    Raises :class:`CorruptPayload` if the marker or CRC does not match and
+    :class:`TruncatedStream` if the stream ends mid-packet.  On a CRC
+    mismatch the reader is positioned just past the damaged packet, so the
+    caller can conceal one frame and continue.
+    """
+    reader.align()
+    marker = reader.read(32)
+    if marker != RESYNC:
+        raise CorruptPayload("frame packet resync marker not found")
+    length = reader.read(32)
+    crc = reader.read(32)
+    payload = reader.read_bytes(length)
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise CorruptPayload("frame payload CRC mismatch")
+    return payload
+
+
+def seek_resync(reader: BitReader) -> bool:
+    """Scan forward to the next byte-aligned resync marker.
+
+    Returns True with the reader positioned at the marker, or False with
+    the reader at end of stream.
+    """
+    return reader.seek_pattern(RESYNC_BYTES)
+
+
+def header_byte_length(data: bytes) -> int:
+    """Byte length of the v2 container header at the start of ``data``.
+
+    Used by fault injectors and fuzz mutators to aim mutations at (or
+    away from) the header region without bit-level parsing.
+    """
+    if len(data) < 6 or int.from_bytes(data[:4], "big") != MAGIC_V2:
+        raise HeaderError("not a v2 repro codec bitstream")
+    return 6 + data[5] + 4

@@ -11,12 +11,17 @@ codec invariant.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import List, Tuple
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.codec.bitstream import StreamHeader, read_header
+from repro.codec.bitstream import (
+    StreamHeader,
+    read_container_header,
+    read_frame_packet,
+    seek_resync,
+)
 from repro.codec.blocks import from_blocks, merge_blocks
 from repro.codec.encoder import reconstruct_luma_residual
 from repro.codec.deblock import deblock_plane
@@ -24,6 +29,7 @@ from repro.codec.entropy_coding.bitio import BitReader
 from repro.codec.entropy_coding.cabac import CabacDecoder
 from repro.codec.entropy_coding.cavlc import decode_levels_cavlc
 from repro.codec.entropy_coding.expgolomb import read_se, read_ue
+from repro.codec.errors import BitstreamError, CorruptPayload, HeaderError
 from repro.codec.instrumentation import Counters
 from repro.codec.motion import (
     block_positions,
@@ -43,12 +49,30 @@ __all__ = ["Decoder", "DecodeResult", "decode"]
 
 @dataclass
 class DecodeResult:
-    """A decoded video plus decoding-side work counters."""
+    """A decoded video plus decoding-side work counters.
+
+    ``concealed`` has one flag per output frame: True where the decoder
+    replaced a damaged frame with concealment pixels (strict=False only;
+    strict decodes always report all-False).
+    """
 
     video: Video
     header: StreamHeader
     counters: Counters
     wall_seconds: float
+    concealed: List[bool] = field(default_factory=list)
+
+    @property
+    def frames_concealed(self) -> int:
+        """Number of frames replaced by error concealment."""
+        return int(sum(self.concealed))
+
+    @property
+    def decodable_fraction(self) -> float:
+        """Fraction of frames decoded from actual payload data."""
+        if not self.concealed:
+            return 1.0
+        return 1.0 - self.frames_concealed / len(self.concealed)
 
 
 def _clamp_qp(qp: int) -> int:
@@ -58,66 +82,96 @@ def _clamp_qp(qp: int) -> int:
 class Decoder:
     """Stateless decoder object (state lives per-call)."""
 
-    def decode(self, bitstream: bytes, name: str = "") -> DecodeResult:
-        """Decode a bitstream produced by :class:`repro.codec.Encoder`."""
+    def decode(
+        self,
+        bitstream: bytes,
+        name: str = "",
+        strict: bool = True,
+        max_pixels: Optional[int] = None,
+    ) -> DecodeResult:
+        """Decode a bitstream produced by :class:`repro.codec.Encoder`.
+
+        Args:
+            bitstream: The compressed stream (RPV1 or RPV2 container).
+            name: Name for the returned video.
+            strict: With True (default) any damage raises a
+                :class:`~repro.codec.errors.BitstreamError` subclass.  With
+                False the decoder conceals damaged frames instead: in the
+                packetized v2 container damage is localized per frame (CRC
+                or payload failures conceal one frame, framing damage is
+                healed by scanning to the next resync marker); the
+                unframed v1 container cannot re-synchronize, so the first
+                failure conceals every remaining frame.  A concealed frame
+                repeats the co-located previous reconstruction, or DC gray
+                when no frame decoded yet.
+            max_pixels: Optional cap on total decoded luma pixels
+                (``coded_w * coded_h * n_frames``); headers exceeding it
+                raise :class:`~repro.codec.errors.HeaderError`.  Fuzzers
+                use this to bound the work a crafted header can demand.
+        """
         start = time.perf_counter()
         counters = Counters()
         reader = BitReader(bitstream)
-        header = read_header(reader)
+        header, version = read_container_header(reader)
 
         coded_w = -(-header.width // MB_SIZE) * MB_SIZE
         coded_h = -(-header.height // MB_SIZE) * MB_SIZE
         n_mb = (coded_w // MB_SIZE) * (coded_h // MB_SIZE)
+        if max_pixels is not None and coded_w * coded_h * header.n_frames > max_pixels:
+            raise HeaderError(
+                f"stream geometry {coded_w}x{coded_h}x{header.n_frames} exceeds "
+                f"the {max_pixels}-pixel decode budget"
+            )
         ys, xs = block_positions(coded_h, coded_w, MB_SIZE)
         cys, cxs = ys // 2, xs // 2
-        tsize = header.transform_size
+        geometry = (coded_h, coded_w, n_mb, ys, xs, cys, cxs)
 
         refs: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
         frames: List[Frame] = []
+        concealed: List[bool] = []
+        dead = False  # no more usable data: conceal every remaining frame
 
         for _ in range(header.n_frames):
             counters.add("frame_setup", 1)
-            frame_type = FrameType(reader.read(1))
-            qp = reader.read(6)
-            qp_c = _clamp_qp(qp + header.chroma_qp_offset)
+            planes = None
+            if not dead and version >= 2:
+                payload = None
+                try:
+                    payload = read_frame_packet(reader)
+                except BitstreamError:
+                    if strict:
+                        raise
+                    # Damaged framing: conceal this frame and re-acquire at
+                    # the next resync marker (end of stream if none left).
+                    dead = not seek_resync(reader)
+                if payload is not None:
+                    try:
+                        planes = self._decode_frame_payload(
+                            BitReader(payload), header, geometry, refs, counters
+                        )
+                    except BitstreamError:
+                        if strict:
+                            raise
+            elif not dead:
+                try:
+                    planes = self._decode_frame_payload(
+                        reader, header, geometry, refs, counters
+                    )
+                except BitstreamError:
+                    if strict:
+                        raise
+                    # v1 has no framing to recover: the rest is lost.
+                    dead = True
 
-            if frame_type is FrameType.I:
-                planes = self._decode_i_frame(
-                    reader, header, coded_h, coded_w, n_mb, ys, xs, cys, cxs,
-                    qp, qp_c, counters,
-                )
-                modes = None
+            if planes is None:
+                planes = self._conceal_frame(refs, coded_h, coded_w)
+                concealed.append(True)
             else:
-                if not refs:
-                    raise ValueError("corrupt stream: P frame before any I frame")
-                planes, modes = self._decode_p_frame(
-                    reader, header, coded_h, coded_w, n_mb, ys, xs, cys, cxs,
-                    qp, qp_c, refs, counters,
-                )
-
+                counters.add("recon", n_mb)
+                concealed.append(False)
             recon_y, recon_u, recon_v = planes
-            if header.deblock:
-                if modes is not None:
-                    mb_active = (modes != int(BlockMode.SKIP)).reshape(
-                        coded_h // MB_SIZE, coded_w // MB_SIZE
-                    )
-                    k = MB_SIZE // tsize
-                    luma_active = np.repeat(
-                        np.repeat(mb_active, k, axis=0), k, axis=1
-                    )
-                    chroma_active = mb_active
-                else:
-                    luma_active = None
-                    chroma_active = None
-                recon_y = deblock_plane(recon_y, tsize, qp, luma_active, counters)
-                recon_u = deblock_plane(recon_u, 8, qp_c, chroma_active, counters)
-                recon_v = deblock_plane(recon_v, 8, qp_c, chroma_active, counters)
-            recon_y = np.clip(np.rint(recon_y), 0, 255)
-            recon_u = np.clip(np.rint(recon_u), 0, 255)
-            recon_v = np.clip(np.rint(recon_v), 0, 255)
-            refs.insert(0, (recon_y, recon_u, recon_v))
+            refs.insert(0, planes)
             del refs[2:]
-            counters.add("recon", n_mb)
             frames.append(
                 Frame.from_planes(
                     recon_y[: header.height, : header.width],
@@ -132,6 +186,84 @@ class Decoder:
             header=header,
             counters=counters,
             wall_seconds=time.perf_counter() - start,
+            concealed=concealed,
+        )
+
+    # -- per-frame decode and concealment --------------------------------------
+
+    def _decode_frame_payload(
+        self,
+        reader: BitReader,
+        header: StreamHeader,
+        geometry,
+        refs,
+        counters: Counters,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Decode one frame's payload into clipped reconstruction planes."""
+        coded_h, coded_w, n_mb, ys, xs, cys, cxs = geometry
+        tsize = header.transform_size
+        frame_type = FrameType(reader.read(1))
+        qp = reader.read(6)
+        if qp > QP_MAX:
+            raise CorruptPayload(f"corrupt stream: qp {qp} out of range")
+        qp_c = _clamp_qp(qp + header.chroma_qp_offset)
+
+        if frame_type is FrameType.I:
+            planes = self._decode_i_frame(
+                reader, header, coded_h, coded_w, n_mb, ys, xs, cys, cxs,
+                qp, qp_c, counters,
+            )
+            modes = None
+        else:
+            if not refs:
+                raise CorruptPayload("corrupt stream: P frame before any I frame")
+            planes, modes = self._decode_p_frame(
+                reader, header, coded_h, coded_w, n_mb, ys, xs, cys, cxs,
+                qp, qp_c, refs, counters,
+            )
+
+        recon_y, recon_u, recon_v = planes
+        if header.deblock:
+            if modes is not None:
+                mb_active = (modes != int(BlockMode.SKIP)).reshape(
+                    coded_h // MB_SIZE, coded_w // MB_SIZE
+                )
+                k = MB_SIZE // tsize
+                luma_active = np.repeat(
+                    np.repeat(mb_active, k, axis=0), k, axis=1
+                )
+                chroma_active = mb_active
+            else:
+                luma_active = None
+                chroma_active = None
+            recon_y = deblock_plane(recon_y, tsize, qp, luma_active, counters)
+            recon_u = deblock_plane(recon_u, 8, qp_c, chroma_active, counters)
+            recon_v = deblock_plane(recon_v, 8, qp_c, chroma_active, counters)
+        recon_y = np.clip(np.rint(recon_y), 0, 255)
+        recon_u = np.clip(np.rint(recon_u), 0, 255)
+        recon_v = np.clip(np.rint(recon_v), 0, 255)
+        if not (
+            np.isfinite(recon_y).all()
+            and np.isfinite(recon_u).all()
+            and np.isfinite(recon_v).all()
+        ):
+            raise CorruptPayload("corrupt stream: non-finite reconstruction")
+        return recon_y, recon_u, recon_v
+
+    @staticmethod
+    def _conceal_frame(
+        refs: List[Tuple[np.ndarray, np.ndarray, np.ndarray]],
+        coded_h: int,
+        coded_w: int,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Concealment pixels: repeat the previous reconstruction, or DC
+        gray when nothing has decoded yet."""
+        if refs:
+            return refs[0]
+        return (
+            np.full((coded_h, coded_w), 128.0),
+            np.full((coded_h // 2, coded_w // 2), 128.0),
+            np.full((coded_h // 2, coded_w // 2), 128.0),
         )
 
     # -- residual payloads -----------------------------------------------------
@@ -240,7 +372,7 @@ class Decoder:
     ):
         modes = np.array([read_ue(reader) for _ in range(n_mb)], dtype=np.int64)
         if np.any(modes > int(BlockMode.INTRA)):
-            raise ValueError("corrupt stream: invalid block mode")
+            raise CorruptPayload("corrupt stream: invalid block mode")
         inter_idx = np.nonzero(modes == int(BlockMode.INTER))[0]
         mvs = np.zeros((n_mb, 2), dtype=np.int64)
         if inter_idx.size:
@@ -254,7 +386,7 @@ class Decoder:
             # reference-padding allocation below.
             limit = 4 * (coded_w + coded_h)
             if int(np.max(np.abs(mvs))) > limit:
-                raise ValueError("corrupt stream: motion vector out of range")
+                raise CorruptPayload("corrupt stream: motion vector out of range")
         ref_idx = np.zeros(n_mb, dtype=np.int64)
         if header.references == 2 and inter_idx.size:
             ref_idx[inter_idx] = [reader.read_bit() for _ in range(inter_idx.size)]
@@ -343,6 +475,13 @@ class Decoder:
         return (recon_y, recon_u, recon_v), modes
 
 
-def decode(bitstream: bytes, name: str = "") -> Video:
+def decode(
+    bitstream: bytes,
+    name: str = "",
+    strict: bool = True,
+    max_pixels: Optional[int] = None,
+) -> Video:
     """Decode a bitstream to a :class:`Video` (convenience wrapper)."""
-    return Decoder().decode(bitstream, name=name).video
+    return Decoder().decode(
+        bitstream, name=name, strict=strict, max_pixels=max_pixels
+    ).video

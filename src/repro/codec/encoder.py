@@ -21,7 +21,14 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.codec import tracegen
-from repro.codec.bitstream import StreamHeader, fps_fraction, write_header
+from repro.codec.bitstream import (
+    PACKET_OVERHEAD_BITS,
+    StreamHeader,
+    fps_fraction,
+    write_frame_packet,
+    write_header,
+    write_header_v2,
+)
 from repro.codec.blocks import from_blocks, merge_blocks, split_blocks, to_blocks
 from repro.codec.deblock import deblock_plane
 from repro.codec.entropy_coding.bitio import BitWriter
@@ -136,7 +143,11 @@ class Encoder:
             references=cfg.references,
             chroma_qp_offset=cfg.chroma_qp_offset,
         )
-        write_header(writer, header)
+        packetize = cfg.container_version >= 2
+        if packetize:
+            write_header_v2(writer, header)
+        else:
+            write_header(writer, header)
 
         state = _CodingState(video, cfg)
         stats: List[FrameStats] = []
@@ -148,12 +159,21 @@ class Encoder:
             state.load_frame(video[index])
             frame_type = state.decide_frame_type(index)
             qp = rate_control.frame_qp(frame_type)
-            bits_before = writer.bit_length
+            # In the packetized v2 container each frame is coded into its
+            # own writer and wrapped in a framed, CRC-protected packet; in
+            # v1 frames run back to back in the shared writer.
+            frame_writer = BitWriter() if packetize else writer
+            bits_before = frame_writer.bit_length
             if frame_type is FrameType.I:
-                frame_stats = self._encode_i_frame(state, writer, qp, counters)
+                frame_stats = self._encode_i_frame(state, frame_writer, qp, counters)
             else:
-                frame_stats = self._encode_p_frame(state, writer, qp, counters)
-            bits = writer.bit_length - bits_before
+                frame_stats = self._encode_p_frame(state, frame_writer, qp, counters)
+            if packetize:
+                payload = frame_writer.getvalue()
+                write_frame_packet(writer, payload)
+                bits = 8 * len(payload) + PACKET_OVERHEAD_BITS
+            else:
+                bits = frame_writer.bit_length - bits_before
             frame_stats.bits = bits
             rate_control.feedback(frame_type, qp, bits)
             stats.append(frame_stats)

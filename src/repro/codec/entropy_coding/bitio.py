@@ -8,9 +8,11 @@ code thousands of blocks per frame in pure Python.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
+
+from repro.codec.errors import CorruptPayload, TruncatedStream
 
 __all__ = ["BitWriter", "BitReader", "pack_bits"]
 
@@ -134,11 +136,11 @@ class BitReader:
     def read(self, nbits: int) -> int:
         """Read ``nbits`` as an unsigned integer."""
         if nbits < 0 or nbits > _MAX_BITS:
-            raise ValueError(f"nbits must be in [0, {_MAX_BITS}], got {nbits}")
+            raise TypeError(f"nbits must be in [0, {_MAX_BITS}], got {nbits}")
         if nbits == 0:
             return 0
         if self._pos + nbits > self._bits.size:
-            raise EOFError(
+            raise TruncatedStream(
                 f"bitstream exhausted: wanted {nbits} bits, "
                 f"have {self._bits.size - self._pos}"
             )
@@ -152,7 +154,7 @@ class BitReader:
     def read_bit(self) -> int:
         """Read a single bit."""
         if self._pos >= self._bits.size:
-            raise EOFError("bitstream exhausted")
+            raise TruncatedStream("bitstream exhausted")
         bit = int(self._bits[self._pos])
         self._pos += 1
         return bit
@@ -163,22 +165,34 @@ class BitReader:
         which the stream itself does not delimit)."""
         lengths = np.asarray(lengths, dtype=np.int64)
         if lengths.ndim != 1:
-            raise ValueError("lengths must be a 1-D array")
+            raise TypeError("lengths must be a 1-D array")
         return np.array(
             [self.read(int(nbits)) for nbits in lengths], dtype=np.int64
         )
 
-    def count_zeros(self) -> int:
+    def count_zeros(self, limit: Optional[int] = None) -> int:
         """Consume and count zero bits up to (not including) the next 1.
 
-        This is the leading-zero scan of Exp-Golomb decoding.
+        This is the leading-zero scan of Exp-Golomb decoding.  With a
+        ``limit``, at most ``limit + 1`` bits are examined and a run of
+        more than ``limit`` zeros raises :class:`CorruptPayload` -- a
+        bounded scan, so an all-zeros tail costs O(limit), not O(stream).
         """
-        rest = self._bits[self._pos :]
+        if limit is None:
+            rest = self._bits[self._pos :]
+        else:
+            if limit < 0:
+                raise TypeError(f"limit must be non-negative, got {limit}")
+            rest = self._bits[self._pos : self._pos + limit + 1]
         if rest.size == 0:
-            raise EOFError("bitstream exhausted")
+            raise TruncatedStream("bitstream exhausted")
         nz = np.flatnonzero(rest)
         if nz.size == 0:
-            raise EOFError("no terminating 1 bit found")
+            if limit is not None and rest.size == limit + 1:
+                raise CorruptPayload(
+                    f"zero run exceeds {limit} bits (runaway Exp-Golomb prefix)"
+                )
+            raise TruncatedStream("no terminating 1 bit found")
         zeros = int(nz[0])
         self._pos += zeros
         return zeros
@@ -190,10 +204,32 @@ class BitReader:
     def read_bytes(self, count: int) -> bytes:
         """Read ``count`` aligned bytes (reader must be byte-aligned)."""
         if self._pos % 8:
-            raise ValueError("read_bytes requires byte alignment")
+            raise TypeError("read_bytes requires byte alignment")
+        if count < 0:
+            raise CorruptPayload(f"negative byte count {count}")
         needed = count * 8
         if self._pos + needed > self._bits.size:
-            raise EOFError(f"bitstream exhausted: wanted {count} bytes")
+            raise TruncatedStream(f"bitstream exhausted: wanted {count} bytes")
         chunk = self._bits[self._pos : self._pos + needed]
         self._pos += needed
         return np.packbits(chunk).tobytes()
+
+    def seek_pattern(self, pattern: bytes) -> bool:
+        """Byte-aligned forward scan for ``pattern``.
+
+        Aligns the reader, then searches the remaining bytes.  On success
+        the position is left at the start of the first occurrence and True
+        is returned; otherwise the position moves to the end of the stream
+        and False is returned.  This is the resync-seek primitive of the
+        error-resilient container.
+        """
+        if not pattern:
+            raise TypeError("pattern must be non-empty")
+        self.align()
+        rest = np.packbits(self._bits[self._pos :]).tobytes()
+        found = rest.find(pattern)
+        if found < 0:
+            self._pos = int(self._bits.size)
+            return False
+        self._pos += 8 * found
+        return True

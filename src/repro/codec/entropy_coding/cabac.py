@@ -21,6 +21,7 @@ from typing import List
 
 import numpy as np
 
+from repro.codec.errors import CorruptPayload
 from repro.codec.transform import zigzag_order
 
 __all__ = ["CabacEncoder", "CabacDecoder", "ContextSet"]
@@ -209,7 +210,7 @@ class CabacDecoder:
         while self.decode_bypass() == 0:
             zeros += 1
             if zeros > 62:
-                raise ValueError("corrupt CABAC stream: runaway EG prefix")
+                raise CorruptPayload("corrupt CABAC stream: runaway EG prefix")
         value = 1
         for _ in range(zeros):
             value = (value << 1) | self.decode_bypass()
@@ -219,6 +220,8 @@ class CabacDecoder:
         self, n_blocks: int, size: int, chroma: bool = False
     ) -> np.ndarray:
         """Decode ``n_blocks`` blocks of ``size x size`` levels."""
+        if n_blocks < 0:
+            raise TypeError(f"block count must be non-negative, got {n_blocks}")
         scan = zigzag_order(size)
         ctx = self.contexts
         plane = 1 if chroma else 0

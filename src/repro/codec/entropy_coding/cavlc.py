@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.codec.entropy_coding.bitio import BitReader, BitWriter
+from repro.codec.errors import CorruptPayload
 from repro.codec.entropy_coding.expgolomb import (
     read_se,
     read_ue,
@@ -90,22 +91,22 @@ def decode_levels_cavlc(
 ) -> np.ndarray:
     """Decode ``n_blocks`` blocks of ``size x size`` quantized levels."""
     if n_blocks < 0:
-        raise ValueError(f"block count must be non-negative, got {n_blocks}")
+        raise TypeError(f"block count must be non-negative, got {n_blocks}")
     scan = zigzag_order(size)
     out = np.zeros((n_blocks, size * size), dtype=np.int32)
     max_pos = size * size
     for b in range(n_blocks):
         nnz = read_ue(reader)
         if nnz > max_pos:
-            raise ValueError(f"corrupt stream: {nnz} coefficients in block {b}")
+            raise CorruptPayload(f"corrupt stream: {nnz} coefficients in block {b}")
         pos = -1
         for _ in range(nnz):
             run = read_ue(reader)
             pos += run + 1
             if pos >= max_pos:
-                raise ValueError(f"corrupt stream: run overflows block {b}")
+                raise CorruptPayload(f"corrupt stream: run overflows block {b}")
             level = read_se(reader)
             if level == 0:
-                raise ValueError(f"corrupt stream: zero level in block {b}")
+                raise CorruptPayload(f"corrupt stream: zero level in block {b}")
             out[b, scan[pos]] = level
     return out.reshape(n_blocks, size, size)

@@ -16,6 +16,7 @@ import numpy as np
 from repro.codec.entropy_coding.bitio import BitReader, BitWriter
 
 __all__ = [
+    "MAX_UE_ZEROS",
     "ue_code",
     "se_code",
     "ue_codes",
@@ -89,9 +90,16 @@ def write_se(writer: BitWriter, value: int) -> None:
     writer.write(code, nbits)
 
 
+#: Longest admissible Exp-Golomb zero prefix.  No conforming encoder emits
+#: values near 2**32; anything longer is corruption, and the bound keeps a
+#: crafted all-zeros tail from costing O(stream) per symbol.
+MAX_UE_ZEROS = 32
+
+
 def read_ue(reader: BitReader) -> int:
-    """Read one unsigned Exp-Golomb code."""
-    zeros = reader.count_zeros()
+    """Read one unsigned Exp-Golomb code (zero prefix bounded at
+    :data:`MAX_UE_ZEROS`; longer runs raise ``CorruptPayload``)."""
+    zeros = reader.count_zeros(MAX_UE_ZEROS)
     return reader.read(zeros + 1) - 1
 
 

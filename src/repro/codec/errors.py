@@ -1,0 +1,39 @@
+"""Structured exception taxonomy for bitstream parsing and decoding.
+
+The decoder sits at an untrusted-input boundary: streams arrive through a
+lossy pipeline (the paper's Live/VOD scenarios) and may be truncated or
+corrupted.  Every parse failure surfaces as a :class:`BitstreamError`
+subclass so callers can catch one family instead of guessing which raw
+``EOFError``/``ValueError`` a malformed input might trigger.
+
+``BitstreamError`` subclasses ``ValueError`` (all these are, at heart,
+"bad value for this stream") so pre-existing ``except ValueError`` call
+sites keep working; ``TruncatedStream`` additionally subclasses
+``EOFError`` for the same reason on the exhausted-input paths.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "BitstreamError",
+    "TruncatedStream",
+    "CorruptPayload",
+    "HeaderError",
+]
+
+
+class BitstreamError(ValueError):
+    """Base class: a bitstream could not be parsed or decoded."""
+
+
+class TruncatedStream(BitstreamError, EOFError):
+    """The stream ended before a complete syntax element was read."""
+
+
+class CorruptPayload(BitstreamError):
+    """A syntax element decoded to an impossible value (damaged payload)."""
+
+
+class HeaderError(BitstreamError):
+    """The stream header is foreign, unsupported, or describes impossible
+    geometry."""

@@ -52,6 +52,10 @@ class EncoderConfig:
             lever real encoders pull under hard latency pressure (live
             streaming at high resolutions).
         chroma_qp_offset: QP delta applied to chroma planes.
+        container_version: Bitstream container to emit: 2 (default; the
+            error-resilient packetized RPV2 format) or 1 (the legacy
+            unprotected RPV1 layout, kept writable for back-compat
+            testing).  Decoders read both.
     """
 
     search_method: str = "log"
@@ -70,8 +74,13 @@ class EncoderConfig:
     chroma_qp_offset: int = 2
     chroma_subpel: bool = False
     references: int = 1
+    container_version: int = 2
 
     def __post_init__(self) -> None:
+        if self.container_version not in (1, 2):
+            raise ValueError(
+                f"container version must be 1 or 2, got {self.container_version}"
+            )
         if self.skip_bias <= 0:
             raise ValueError(f"skip_bias must be positive, got {self.skip_bias}")
         if self.references not in (1, 2):

@@ -1,0 +1,40 @@
+"""Deterministic structured fuzzing of the codec's untrusted-input boundary.
+
+The decoder consumes bytes that arrive through a lossy pipeline; this
+package proves it can take the abuse.  A campaign mutates known-good
+streams with seeded structured mutators (:mod:`repro.fuzz.mutators`),
+feeds every mutant to the decode oracle (:mod:`repro.fuzz.oracle`),
+shrinks any violation with ddmin (:mod:`repro.fuzz.minimize`), and saves
+reproducers to a replayable corpus (:mod:`repro.fuzz.corpus`).  Driven by
+``repro fuzz`` on the command line and a fixed-seed CI smoke job.
+"""
+
+from repro.fuzz.corpus import load_corpus, save_case
+from repro.fuzz.harness import (
+    FuzzFinding,
+    FuzzReport,
+    replay_corpus,
+    run_fuzz,
+    seed_streams,
+)
+from repro.fuzz.minimize import ddmin
+from repro.fuzz.mutators import MUTATORS, mutate, mutator, packet_table
+from repro.fuzz.oracle import DEFAULT_MAX_PIXELS, OracleVerdict, run_oracle
+
+__all__ = [
+    "DEFAULT_MAX_PIXELS",
+    "FuzzFinding",
+    "FuzzReport",
+    "MUTATORS",
+    "OracleVerdict",
+    "ddmin",
+    "load_corpus",
+    "mutate",
+    "mutator",
+    "packet_table",
+    "replay_corpus",
+    "run_fuzz",
+    "run_oracle",
+    "save_case",
+    "seed_streams",
+]

@@ -1,0 +1,204 @@
+"""The fuzz campaign driver: seeds, mutation loop, reporting, replay.
+
+A campaign is a pure function of ``(seed, budget)``: seed streams are
+deterministic tiny encodes, each case derives its own generator from
+``(seed, case_index)``, and the report renders byte-stably -- so a CI
+smoke job and a developer shell see the exact same campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.codec.encoder import encode
+from repro.codec.presets import preset
+from repro.fuzz import corpus as corpus_io
+from repro.fuzz.minimize import ddmin
+from repro.fuzz.mutators import MUTATORS, mutate
+from repro.fuzz.oracle import DEFAULT_MAX_PIXELS, run_oracle
+from repro.video.frame import Frame
+from repro.video.video import Video
+
+__all__ = ["FuzzFinding", "FuzzReport", "run_fuzz", "replay_corpus", "seed_streams"]
+
+#: Seed for the synthetic content of the seed streams (fixed: the seed
+#: streams are part of the campaign definition, not of its randomness).
+_CONTENT_SEED = 3804
+
+_OUTCOMES = ("ok", "concealed", "rejected", "violation")
+
+
+@dataclass
+class FuzzFinding:
+    """One oracle violation, with enough context to reproduce it."""
+
+    case: int
+    mutator: str
+    seed_stream: str
+    detail: str
+    data: bytes
+    minimized: Optional[bytes] = None
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate outcome of a campaign (or a corpus replay)."""
+
+    seed: int
+    budget: int
+    outcomes: Dict[str, int] = field(default_factory=dict)
+    by_mutator: Dict[str, int] = field(default_factory=dict)
+    violations: List[FuzzFinding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_text(self) -> str:
+        lines = [f"fuzz campaign: seed={self.seed} budget={self.budget}"]
+        lines.append(
+            "  outcomes: "
+            + " ".join(f"{k}={self.outcomes.get(k, 0)}" for k in _OUTCOMES)
+        )
+        if self.by_mutator:
+            lines.append(
+                "  cases by mutator: "
+                + " ".join(
+                    f"{name}={self.by_mutator[name]}"
+                    for name in sorted(self.by_mutator)
+                )
+            )
+        if self.violations:
+            lines.append(f"  VIOLATIONS ({len(self.violations)}):")
+            for v in self.violations:
+                size = len(v.minimized) if v.minimized is not None else len(v.data)
+                lines.append(
+                    f"    case {v.case} [{v.mutator} on {v.seed_stream}, "
+                    f"{size} bytes]: {v.detail}"
+                )
+        else:
+            lines.append("  no oracle violations")
+        return "\n".join(lines) + "\n"
+
+
+def _tiny_video(width: int, height: int, n_frames: int) -> Video:
+    """Deterministic synthetic clip: noise base drifting sideways."""
+    rng = np.random.default_rng(_CONTENT_SEED)
+    base_y = rng.integers(0, 256, size=(height, width), dtype=np.uint8)
+    base_u = rng.integers(0, 256, size=(height // 2, width // 2), dtype=np.uint8)
+    base_v = rng.integers(0, 256, size=(height // 2, width // 2), dtype=np.uint8)
+    frames = []
+    for i in range(n_frames):
+        frames.append(
+            Frame.from_planes(
+                np.roll(base_y, i, axis=1),
+                np.roll(base_u, i, axis=1),
+                np.roll(base_v, i, axis=1),
+            )
+        )
+    return Video(frames, fps=24.0, name="fuzz-seed")
+
+
+def seed_streams() -> List[Tuple[str, bytes]]:
+    """The campaign's clean inputs: tiny encodes spanning both entropy
+    coders and both container versions."""
+    clip = _tiny_video(32, 16, 3)
+    configs = [
+        ("cavlc-v2", preset("ultrafast")),
+        ("cabac-v2", preset("slow").derived(search_range=4, me_iterations=1)),
+        ("cavlc-v1", preset("ultrafast").derived(container_version=1)),
+    ]
+    return [
+        (label, encode(clip, cfg, crf=30).bitstream) for label, cfg in configs
+    ]
+
+
+def run_fuzz(
+    seed: int = 0,
+    budget: int = 1000,
+    max_pixels: int = DEFAULT_MAX_PIXELS,
+    corpus_dir: "Optional[Path | str]" = None,
+    minimize: bool = False,
+    check_strict: bool = True,
+) -> FuzzReport:
+    """Run a fuzz campaign of ``budget`` mutated-decode cases."""
+    if budget < 0:
+        raise ValueError(f"budget must be non-negative, got {budget}")
+    seeds = seed_streams()
+    names = sorted(MUTATORS)
+    report = FuzzReport(
+        seed=seed,
+        budget=budget,
+        outcomes={k: 0 for k in _OUTCOMES},
+        by_mutator={n: 0 for n in names},
+    )
+    for case in range(budget):
+        rng = np.random.default_rng((seed, case))
+        stream_name, clean = seeds[int(rng.integers(0, len(seeds)))]
+        name = names[int(rng.integers(0, len(names)))]
+        data = mutate(name, clean, rng)
+        verdict = run_oracle(data, max_pixels=max_pixels, check_strict=check_strict)
+        report.outcomes[verdict.outcome] += 1
+        report.by_mutator[name] += 1
+        if not verdict.is_violation:
+            continue
+        finding = FuzzFinding(
+            case=case,
+            mutator=name,
+            seed_stream=stream_name,
+            detail=verdict.detail,
+            data=data,
+        )
+        if minimize:
+            finding.minimized = ddmin(
+                data,
+                lambda candidate: run_oracle(
+                    candidate, max_pixels=max_pixels, check_strict=check_strict
+                ).is_violation,
+            )
+        if corpus_dir is not None:
+            corpus_io.save_case(
+                corpus_dir,
+                finding.minimized if finding.minimized is not None else data,
+                {
+                    "case": case,
+                    "detail": verdict.detail,
+                    "mutator": name,
+                    "seed": seed,
+                    "seed_stream": stream_name,
+                },
+            )
+        report.violations.append(finding)
+    return report
+
+
+def replay_corpus(
+    directory: "Path | str",
+    max_pixels: int = DEFAULT_MAX_PIXELS,
+    check_strict: bool = True,
+) -> FuzzReport:
+    """Re-run the oracle over every saved reproducer in ``directory``."""
+    cases = corpus_io.load_corpus(directory)
+    report = FuzzReport(
+        seed=0,
+        budget=len(cases),
+        outcomes={k: 0 for k in _OUTCOMES},
+    )
+    for index, (path, data) in enumerate(cases):
+        verdict = run_oracle(data, max_pixels=max_pixels, check_strict=check_strict)
+        report.outcomes[verdict.outcome] += 1
+        if verdict.is_violation:
+            report.violations.append(
+                FuzzFinding(
+                    case=index,
+                    mutator="corpus",
+                    seed_stream=path.name,
+                    detail=verdict.detail,
+                    data=data,
+                )
+            )
+    return report

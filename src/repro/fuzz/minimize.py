@@ -1,0 +1,49 @@
+"""ddmin-style minimization of failure-triggering inputs.
+
+Classic delta debugging (Zeller/Hildebrandt): repeatedly try removing
+byte chunks at shrinking granularity, keeping any candidate on which the
+predicate still holds.  The step budget bounds total predicate
+evaluations, so minimizing a pathological input can never stall a fuzz
+campaign.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ["ddmin"]
+
+
+def ddmin(
+    data: bytes,
+    predicate: Callable[[bytes], bool],
+    max_steps: int = 2000,
+) -> bytes:
+    """Greedily shrink ``data`` while ``predicate`` keeps holding.
+
+    ``predicate(data)`` must be True on entry; the returned bytes also
+    satisfy it.  At most ``max_steps`` predicate evaluations are spent.
+    """
+    if not predicate(data):
+        raise ValueError("predicate does not hold on the initial input")
+    steps = 0
+    granularity = 2
+    while len(data) >= 2 and steps < max_steps:
+        chunk = max(1, len(data) // granularity)
+        start = 0
+        reduced = False
+        while start < len(data) and steps < max_steps:
+            candidate = data[:start] + data[start + chunk :]
+            steps += 1
+            if candidate and predicate(candidate):
+                data = candidate
+                reduced = True
+            else:
+                start += chunk
+        if not reduced:
+            if chunk == 1:
+                break
+            granularity = min(len(data), granularity * 2)
+        else:
+            granularity = max(2, granularity // 2)
+    return data

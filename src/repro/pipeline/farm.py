@@ -156,6 +156,29 @@ class RobustnessReport:
     def jobs_dead_lettered(self) -> int:
         return len(self.dead_letters)
 
+    @property
+    def stream_corruptions(self) -> int:
+        """Transcodes whose output bitstream was corrupted in flight."""
+        return sum(c.stream_corruptions for c in self.injected.values())
+
+    @property
+    def stream_corrupted_frames(self) -> int:
+        """Frames the decoder concealed across all stream corruptions."""
+        return sum(c.stream_corrupted_frames for c in self.injected.values())
+
+    @property
+    def stream_frames_seen(self) -> int:
+        """Frames decoded (concealed or not) across all stream corruptions."""
+        return sum(c.stream_frames_seen for c in self.injected.values())
+
+    @property
+    def stream_decodable_fraction(self) -> float:
+        """Fraction of frames in corrupted streams decoded without
+        concealment (1.0 when no stream corruption was injected)."""
+        if self.stream_frames_seen == 0:
+            return 1.0
+        return 1.0 - self.stream_corrupted_frames / self.stream_frames_seen
+
     def to_text(self) -> str:
         lines = [
             "RobustnessReport",
@@ -186,10 +209,20 @@ class RobustnessReport:
         lines.append("  injected faults:")
         for spec in sorted(self.injected):
             counts = self.injected[spec]
-            lines.append(
+            line = (
                 f"    {spec}: crashes={counts.crashes} "
                 f"stragglers={counts.stragglers} "
                 f"corruptions={counts.corruptions} outages={counts.outages}"
+            )
+            if counts.stream_corruptions:
+                line += f" stream_corruptions={counts.stream_corruptions}"
+            lines.append(line)
+        if self.stream_corruptions:
+            lines.append(
+                f"  stream damage:   {self.stream_corruptions} streams, "
+                f"{self.stream_corrupted_frames}/{self.stream_frames_seen} "
+                f"frames concealed "
+                f"(decodable fraction {self.stream_decodable_fraction:.3f})"
             )
         lines.append(f"  dead letters ({len(self.dead_letters)}):")
         for letter in self.dead_letters:

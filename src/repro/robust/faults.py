@@ -1,6 +1,6 @@
 """Seeded fault injection around any :class:`~repro.encoders.base.Transcoder`.
 
-A real transcoding farm sees four failure shapes (Li et al., "Cost-Efficient
+A real transcoding farm sees five failure shapes (Li et al., "Cost-Efficient
 and Robust On-Demand Video Stream Transcoding Using Heterogeneous Cloud
 Services"; see PAPERS.md):
 
@@ -11,12 +11,16 @@ Services"; see PAPERS.md):
   contention);
 * **corrupted outputs** — the transcode "succeeds" but the bitstream is
   garbage; only a quality check catches it;
+* **corrupted streams** — bits of the output bitstream flip in storage or
+  transit; the resilient container localizes the damage and the decoder
+  conceals the affected frames, so quality degrades instead of vanishing;
 * **permanent outages** — a backend (an encoder fleet, a GPU pool) goes
   away and every call fails fast until an operator intervenes.
 
-:class:`FaultyTranscoder` wraps a backend and injects all four from a
+:class:`FaultyTranscoder` wraps a backend and injects all five from a
 seeded RNG, so a chaos experiment is exactly reproducible.  Corruption is
-physical, not flagged: the output video's luma is inverted, so the
+physical, not flagged: the output video's luma is inverted (or its
+re-encoded bitstream's bits really are flipped and re-decoded), so the
 caller's ``quality_db`` really does collapse and detection has to happen
 the way production detects it — by measuring.
 """
@@ -76,7 +80,7 @@ class BackendOutage(FaultError):
 class FaultPlan:
     """What to inject, how often, from which seed.
 
-    The three rates are drawn from a single uniform per call, so their sum
+    The four rates are drawn from a single uniform per call, so their sum
     must stay at or below 1.  ``dead_backends`` holds backend *keys* (the
     registry specs the farm wraps, e.g. ``"x264:veryslow"``); a dead
     backend raises :class:`BackendOutage` on every call.
@@ -89,6 +93,10 @@ class FaultPlan:
         straggler_rate: Probability a call's ``seconds`` are multiplied by
             ``straggler_factor``.
         corrupt_rate: Probability a call returns a corrupted output.
+        corrupt_stream_rate: Probability a call's output is round-tripped
+            through the repro codec with seeded bit flips in the payload —
+            the decoder conceals the damaged frames, so the output is
+            degraded rather than destroyed.
         straggler_factor: Slowdown multiple for straggler calls.
         crash_waste: Fraction of the transcode's compute spent before a
             crash (booked as wasted).
@@ -99,16 +107,27 @@ class FaultPlan:
     crash_rate: float = 0.0
     straggler_rate: float = 0.0
     corrupt_rate: float = 0.0
+    corrupt_stream_rate: float = 0.0
     straggler_factor: float = 20.0
     crash_waste: float = 0.5
     dead_backends: FrozenSet[str] = frozenset()
 
     def __post_init__(self) -> None:
-        for name in ("crash_rate", "straggler_rate", "corrupt_rate"):
+        for name in (
+            "crash_rate",
+            "straggler_rate",
+            "corrupt_rate",
+            "corrupt_stream_rate",
+        ):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {rate}")
-        total = self.crash_rate + self.straggler_rate + self.corrupt_rate
+        total = (
+            self.crash_rate
+            + self.straggler_rate
+            + self.corrupt_rate
+            + self.corrupt_stream_rate
+        )
         if total > 1.0:
             raise ValueError(f"fault rates must sum to <= 1, got {total}")
         if self.straggler_factor < 1.0:
@@ -127,6 +146,40 @@ class FaultPlan:
 
     def is_dead(self, key: str) -> bool:
         return key in self.dead_backends
+
+
+def _corrupt_stream(
+    video: Video, rng: np.random.Generator
+) -> "tuple[Video, int, int]":
+    """Corrupt a video *through its bitstream*: encode, flip bits, decode.
+
+    Unlike :func:`_corrupt`, this exercises the error-resilience path: the
+    repro codec's v2 container localizes the flipped bits to individual
+    frame packets and the decoder conceals just those frames.  Returns
+    ``(decoded video, frames concealed, total frames)``.  Bit positions
+    land beyond the container header so the stream stays parseable — a
+    destroyed header is the ``corrupt_rate`` failure shape, not this one.
+    """
+    from repro.codec.bitstream import header_byte_length
+    from repro.codec.decoder import Decoder
+    from repro.codec.encoder import encode
+    from repro.codec.presets import preset
+
+    encoded = encode(video, preset("ultrafast"), crf=18)
+    data = bytearray(encoded.bitstream)
+    header_len = header_byte_length(bytes(data[:16]))
+    n_flips = max(1, len(data) // 2048)
+    for _ in range(n_flips):
+        pos = int(rng.integers(header_len, len(data)))
+        data[pos] ^= 1 << int(rng.integers(0, 8))
+    result = Decoder().decode(bytes(data), name=video.name, strict=False)
+    decoded = Video(
+        result.video.frames,
+        video.fps,
+        name=video.name,
+        nominal_resolution=video.nominal_resolution,
+    )
+    return decoded, result.frames_concealed, len(result.concealed)
 
 
 def _corrupt(video: Video) -> Video:
@@ -161,10 +214,21 @@ class FaultCounts:
     crashes: int = 0
     stragglers: int = 0
     corruptions: int = 0
+    stream_corruptions: int = 0
+    #: Frames the decoder had to conceal across all stream corruptions.
+    stream_corrupted_frames: int = 0
+    #: Frames decoded (concealed or not) across all stream corruptions.
+    stream_frames_seen: int = 0
     outages: int = 0
 
     def total(self) -> int:
-        return self.crashes + self.stragglers + self.corruptions + self.outages
+        return (
+            self.crashes
+            + self.stragglers
+            + self.corruptions
+            + self.stream_corruptions
+            + self.outages
+        )
 
 
 class FaultyTranscoder(Transcoder):
@@ -215,6 +279,19 @@ class FaultyTranscoder(Transcoder):
         ):
             self.injected.corruptions += 1
             result.output = _corrupt(result.output)
+            return result
+        if draw < (
+            self.plan.crash_rate
+            + self.plan.straggler_rate
+            + self.plan.corrupt_rate
+            + self.plan.corrupt_stream_rate
+        ):
+            self.injected.stream_corruptions += 1
+            result.output, concealed, seen = _corrupt_stream(
+                result.output, self._rng
+            )
+            self.injected.stream_corrupted_frames += concealed
+            self.injected.stream_frames_seen += seen
             return result
         return result
 

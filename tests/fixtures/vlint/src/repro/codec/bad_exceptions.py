@@ -1,0 +1,44 @@
+"""Seeded VL006 violations: decode paths leaking foreign exceptions.
+
+Not real code -- a vlint test fixture.  Decode-path functions here raise
+exceptions outside the bitstream error taxonomy, which is exactly what
+lets a malformed input crash a caller that catches ``BitstreamError``.
+"""
+
+
+def read_marker(reader):
+    if not reader:
+        raise ValueError("bad marker")  # VL006: foreign exception
+    return reader
+
+
+def decode_block(reader, count):
+    if count < 0:
+        raise TypeError("caller bug")  # allowed: API misuse
+    if count > 64:
+        raise CorruptPayload("too many coefficients")  # allowed: taxonomy
+    raise KeyError(count)  # VL006: foreign exception
+
+
+def read_reraise(reader):
+    try:
+        return reader.read(8)
+    except Exception:
+        raise  # allowed: bare re-raise
+
+
+def helper(data):
+    raise RuntimeError("not a decode path; out of scope")
+
+
+class ToyDecoder:
+    def parse(self):
+        raise OSError("leak")  # VL006: every Decoder method is in scope
+
+    def todo(self):
+        raise NotImplementedError
+
+
+class ToyWriter:
+    def write_marker(self, value):
+        raise ValueError("write side is exempt")

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.codec.entropy_coding.bitio import BitReader, BitWriter, pack_bits
+from repro.codec.errors import CorruptPayload, TruncatedStream
 
 
 class TestPackBits:
@@ -119,8 +120,34 @@ class TestBitReader:
     def test_read_bytes_requires_alignment(self):
         reader = BitReader(b"\xff\xff")
         reader.read(3)
-        with pytest.raises(ValueError, match="alignment"):
+        with pytest.raises(TypeError, match="alignment"):
             reader.read_bytes(1)
+
+    def test_count_zeros_limit(self):
+        reader = BitReader(bytes([0x00, 0x01]))  # 15 zeros then a 1
+        with pytest.raises(CorruptPayload):
+            reader.count_zeros(8)
+
+    def test_count_zeros_limit_allows_exact_run(self):
+        reader = BitReader(bytes([0x01]))  # 7 zeros then a 1
+        assert reader.count_zeros(7) == 7
+
+    def test_count_zeros_truncation_beats_limit(self):
+        # Fewer bits remain than the limit allows: truncation, not corruption.
+        reader = BitReader(b"\x00")
+        with pytest.raises(TruncatedStream):
+            reader.count_zeros(32)
+
+    def test_seek_pattern_finds_marker(self):
+        reader = BitReader(b"\x01\x02RSYN\x03")
+        assert reader.seek_pattern(b"RSYN")
+        assert reader.position == 16
+        assert reader.read_bytes(4) == b"RSYN"
+
+    def test_seek_pattern_miss_consumes_stream(self):
+        reader = BitReader(b"\x01\x02\x03")
+        assert not reader.seek_pattern(b"RSYN")
+        assert reader.remaining == 0
 
 
 class TestRoundTrip:

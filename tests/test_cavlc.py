@@ -76,7 +76,7 @@ class TestValidation:
             encode_levels_cavlc(BitWriter(), np.zeros((8, 8), dtype=np.int32))
 
     def test_decode_rejects_negative_count(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(TypeError):
             decode_levels_cavlc(BitReader(b"\xff"), -1, 8)
 
     def test_decode_detects_corrupt_run(self):

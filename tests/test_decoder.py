@@ -1,9 +1,33 @@
-"""Decoder: error handling and the decode-side result object."""
+"""Decoder: error handling, concealment, and the decode-side result object."""
 
+import numpy as np
 import pytest
 
 from repro.codec.decoder import DecodeResult, Decoder, decode
 from repro.codec.encoder import encode
+from repro.codec.errors import BitstreamError, CorruptPayload, HeaderError
+from repro.codec.presets import preset
+from repro.fuzz.mutators import packet_table
+from repro.video.frame import Frame
+from repro.video.video import Video
+
+
+def _tiny_clip(n_frames=3, width=32, height=16):
+    rng = np.random.default_rng(414)
+    frames = [
+        Frame.from_planes(
+            rng.integers(0, 256, size=(height, width), dtype=np.uint8),
+            rng.integers(0, 256, size=(height // 2, width // 2), dtype=np.uint8),
+            rng.integers(0, 256, size=(height // 2, width // 2), dtype=np.uint8),
+        )
+        for _ in range(n_frames)
+    ]
+    return Video(frames, fps=24.0, name="tiny")
+
+
+@pytest.fixture(scope="module")
+def tiny_encode():
+    return encode(_tiny_clip(), preset("ultrafast"), crf=30)
 
 
 class TestDecodeResult:
@@ -78,3 +102,104 @@ class TestRobustness:
 
         header = read_header(BitReader(medium_crf_encode.bitstream))
         assert header.width < 1 << 16  # the bound scales with geometry
+
+
+class TestConcealment:
+    """strict=False turns localized stream damage into concealed frames."""
+
+    def test_clean_stream_reports_no_concealment(self, tiny_encode):
+        result = Decoder().decode(tiny_encode.bitstream, strict=False)
+        assert result.concealed == [False, False, False]
+        assert result.frames_concealed == 0
+        assert result.decodable_fraction == 1.0
+        assert result.video == tiny_encode.recon
+
+    def test_damaged_packet_concealed_and_localized(self, tiny_encode):
+        table = packet_table(tiny_encode.bitstream)
+        data = bytearray(tiny_encode.bitstream)
+        payload_offset, _, _ = table[1]
+        data[payload_offset] ^= 0xFF  # CRC now mismatches: packet rejected
+        result = Decoder().decode(bytes(data), strict=False)
+        assert result.concealed == [False, True, False]
+        assert result.decodable_fraction == pytest.approx(2 / 3)
+        # Frame 0 is untouched by frame 1's damage -- that is the whole
+        # point of per-frame packets.
+        assert np.array_equal(result.video[0].y, tiny_encode.recon[0].y)
+        # The concealed frame repeats the previous reconstruction.
+        assert np.array_equal(result.video[1].y, result.video[0].y)
+
+    def test_damaged_packet_raises_in_strict_mode(self, tiny_encode):
+        table = packet_table(tiny_encode.bitstream)
+        data = bytearray(tiny_encode.bitstream)
+        data[table[1][0]] ^= 0xFF
+        with pytest.raises(CorruptPayload, match="CRC"):
+            Decoder().decode(bytes(data), strict=True)
+
+    def test_first_frame_concealed_as_gray(self, tiny_encode):
+        table = packet_table(tiny_encode.bitstream)
+        data = bytearray(tiny_encode.bitstream)
+        data[table[0][0]] ^= 0xFF
+        result = Decoder().decode(bytes(data), strict=False)
+        assert result.concealed[0] is True
+        assert np.all(result.video[0].y == 128)
+        assert np.all(result.video[0].u == 128)
+        assert len(result.video) == 3
+
+    def test_max_pixels_budget_enforced(self, tiny_encode):
+        with pytest.raises(HeaderError, match="pixel"):
+            Decoder().decode(tiny_encode.bitstream, max_pixels=16)
+
+
+class TestEverySingleBitFlip:
+    def test_oracle_holds_for_all_flips(self):
+        """Exhaustive robustness: flipping any ONE bit of a tiny stream
+        yields a clean decode, a concealed decode, or a BitstreamError --
+        never a hang, a foreign exception, or non-finite pixels."""
+        from repro.fuzz.oracle import run_oracle
+
+        data = encode(
+            _tiny_clip(n_frames=2, width=16, height=16),
+            preset("ultrafast"),
+            crf=40,
+        ).bitstream
+        for byte_index in range(len(data)):
+            for bit in range(8):
+                mutant = bytearray(data)
+                mutant[byte_index] ^= 1 << bit
+                verdict = run_oracle(bytes(mutant), check_strict=False)
+                assert not verdict.is_violation, (
+                    f"bit {bit} of byte {byte_index}: {verdict.detail}"
+                )
+
+
+class TestV1BackCompat:
+    """RPV1 streams (no packets, no CRCs) still decode bit-exactly."""
+
+    @pytest.fixture(scope="class")
+    def v1_encode(self):
+        clip = _tiny_clip()
+        return encode(clip, preset("ultrafast").derived(container_version=1), crf=30)
+
+    def test_round_trip_is_bit_exact(self, v1_encode):
+        assert decode(v1_encode.bitstream) == v1_encode.recon
+
+    def test_v1_magic_differs_from_v2(self, v1_encode, tiny_encode):
+        assert v1_encode.bitstream[:4] != tiny_encode.bitstream[:4]
+        assert tiny_encode.bitstream[:4] == b"RPV2"
+
+    def test_v1_has_no_packet_framing(self, v1_encode):
+        assert packet_table(v1_encode.bitstream) == []
+
+    def test_v1_corruption_conceals_the_tail(self, v1_encode):
+        """v1 has no resync framing: the first damaged frame and every
+        frame after it are concealed."""
+        data = bytearray(v1_encode.bitstream)
+        data[len(data) // 2] ^= 0xFF
+        try:
+            result = Decoder().decode(bytes(data), strict=False)
+        except BitstreamError:
+            pytest.skip("this flip corrupted the header region")
+        assert len(result.video) == 3
+        if result.frames_concealed:
+            first = result.concealed.index(True)
+            assert all(result.concealed[first:])

@@ -109,6 +109,35 @@ class TestChaosSurvival:
             assert record.delivery_bytes > 0
 
 
+class TestStreamCorruptionChaos:
+    """Bitstream-level corruption: frames conceal, the report surfaces it."""
+
+    @pytest.fixture(scope="class")
+    def stream_chaotic(self):
+        plan = FaultPlan(seed=8, corrupt_stream_rate=0.6)
+        return run_farm(fault_plan=plan, views=0)
+
+    def test_jobs_survive_stream_damage(self, stream_chaotic):
+        report = stream_chaotic.report
+        assert report.jobs_completed == report.jobs_total == len(CONTENTS)
+        assert report.stream_corruptions > 0
+
+    def test_report_surfaces_decodable_fraction(self, stream_chaotic):
+        report = stream_chaotic.report
+        assert report.stream_frames_seen > 0
+        assert 0.0 <= report.stream_decodable_fraction <= 1.0
+        text = report.to_text()
+        assert "stream damage:" in text
+        assert "decodable fraction" in text
+        assert "stream_corruptions=" in text
+
+    def test_clean_run_hides_the_stream_section(self, fault_free):
+        report = fault_free.report
+        assert report.stream_corruptions == 0
+        assert report.stream_decodable_fraction == 1.0
+        assert "stream damage" not in report.to_text()
+
+
 class TestChaosDeterminism:
     def test_reports_are_byte_identical(self, chaotic):
         again = run_farm(fault_plan=CHAOS_PLAN)

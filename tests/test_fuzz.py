@@ -1,0 +1,224 @@
+"""Fuzzing harness: mutators, oracle, ddmin, corpus, campaign determinism.
+
+The harness is itself part of the robustness contract: a campaign must be
+a pure function of ``(seed, budget)``, the oracle must classify every
+input into ok/concealed/rejected/violation, and minimization/corpus
+plumbing must round-trip reproducers byte-exactly.
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.fuzz import (
+    MUTATORS,
+    ddmin,
+    load_corpus,
+    mutate,
+    mutator,
+    packet_table,
+    replay_corpus,
+    run_fuzz,
+    run_oracle,
+    save_case,
+    seed_streams,
+)
+
+
+@pytest.fixture(scope="module")
+def streams():
+    return dict(seed_streams())
+
+
+@pytest.fixture(scope="module")
+def v2_stream(streams):
+    return streams["cavlc-v2"]
+
+
+class TestMutators:
+    EXPECTED = {
+        "bit_flip",
+        "byte_set",
+        "truncate",
+        "splice",
+        "header_field",
+        "payload_crc_fixed",
+    }
+
+    def test_registry_covers_the_strategies(self):
+        assert self.EXPECTED <= set(MUTATORS)
+
+    def test_mutants_are_deterministic(self, v2_stream):
+        for name in sorted(MUTATORS):
+            a = mutate(name, v2_stream, np.random.default_rng(7))
+            b = mutate(name, v2_stream, np.random.default_rng(7))
+            assert a == b, name
+
+    def test_mutants_differ_from_input(self, v2_stream):
+        # Every strategy actually mutates (any fixed seed that works).
+        for name in sorted(MUTATORS):
+            assert mutate(name, v2_stream, np.random.default_rng(3)) != (
+                v2_stream
+            ), name
+
+    def test_unknown_mutator_rejected(self, v2_stream):
+        with pytest.raises(ValueError, match="unknown mutator"):
+            mutate("nope", v2_stream, np.random.default_rng(0))
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="duplicate mutator"):
+
+            @mutator("bit_flip")
+            def clone(data, rng):  # pragma: no cover - never registered
+                return data
+
+    def test_packet_table_parses_v2(self, v2_stream):
+        table = packet_table(v2_stream)
+        assert len(table) == 3  # one packet per frame
+        for payload_offset, length, crc_offset in table:
+            assert crc_offset + 4 == payload_offset
+            assert payload_offset + length <= len(v2_stream)
+            assert length > 0
+
+    def test_packet_table_empty_for_v1_and_garbage(self, streams):
+        assert packet_table(streams["cavlc-v1"]) == []
+        assert packet_table(b"definitely not a bitstream") == []
+
+    def test_crc_fixed_mutation_defeats_the_crc_layer(self, v2_stream):
+        """payload_crc_fixed recomputes the packet CRC, so the mutant's
+        damage must be caught deeper than the container layer."""
+        data = mutate("payload_crc_fixed", v2_stream, np.random.default_rng(5))
+        assert len(data) == len(v2_stream)
+        # The packet table still parses: framing was left intact.
+        assert len(packet_table(data)) == 3
+
+
+class TestOracle:
+    def test_clean_stream_is_ok(self, v2_stream):
+        verdict = run_oracle(v2_stream)
+        assert verdict.outcome == "ok"
+        assert not verdict.is_violation
+
+    def test_payload_damage_concealed_or_rejected(self, v2_stream):
+        table = packet_table(v2_stream)
+        data = bytearray(v2_stream)
+        payload_offset, _, _ = table[1]
+        data[payload_offset] ^= 0xFF
+        verdict = run_oracle(bytes(data))
+        assert verdict.outcome in ("concealed", "rejected")
+
+    def test_garbage_rejected(self):
+        assert run_oracle(b"garbage in, verdict out").outcome == "rejected"
+
+    def test_truncation_rejected_or_concealed(self, v2_stream):
+        verdict = run_oracle(v2_stream[: len(v2_stream) // 3])
+        assert verdict.outcome in ("concealed", "rejected")
+
+    def test_huge_header_budget_rejected(self, v2_stream):
+        # A tiny pixel budget turns even the clean stream into a reject:
+        # resource bombs are refused before any allocation.
+        verdict = run_oracle(v2_stream, max_pixels=16)
+        assert verdict.outcome == "rejected"
+        assert verdict.detail == "HeaderError"
+
+
+class TestDdmin:
+    def test_shrinks_to_the_relevant_byte(self):
+        data = b"aaaaaaaaXbbbbbbbb"
+        result = ddmin(data, lambda d: b"X" in d)
+        assert result == b"X"
+
+    def test_requires_initially_failing_input(self):
+        with pytest.raises(ValueError, match="does not hold"):
+            ddmin(b"abc", lambda d: False)
+
+    def test_result_still_satisfies_predicate(self):
+        predicate = lambda d: d.count(b"Z") >= 2  # noqa: E731
+        result = ddmin(b"qZqqZqqZq", predicate)
+        assert predicate(result)
+        assert len(result) <= 3
+
+
+class TestCorpus:
+    def test_round_trip(self, tmp_path):
+        path = save_case(tmp_path / "corpus", b"\x01\x02", {"case": 1})
+        assert path.exists()
+        assert path.with_suffix(".json").exists()
+        loaded = load_corpus(tmp_path / "corpus")
+        assert loaded == [(path, b"\x01\x02")]
+
+    def test_idempotent_by_content(self, tmp_path):
+        a = save_case(tmp_path, b"same bytes", {"case": 1})
+        b = save_case(tmp_path, b"same bytes", {"case": 2})
+        assert a == b
+        assert len(load_corpus(tmp_path)) == 1
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert load_corpus(tmp_path / "nowhere") == []
+
+
+class TestCampaign:
+    def test_campaign_is_a_pure_function_of_seed_and_budget(self):
+        a = run_fuzz(seed=11, budget=30)
+        b = run_fuzz(seed=11, budget=30)
+        assert a.to_text() == b.to_text()
+        assert a.outcomes == b.outcomes
+
+    def test_different_seeds_diverge(self):
+        a = run_fuzz(seed=0, budget=30)
+        b = run_fuzz(seed=1, budget=30)
+        assert a.by_mutator != b.by_mutator or a.outcomes != b.outcomes
+
+    def test_no_violations_at_fixed_seed(self):
+        report = run_fuzz(seed=0, budget=200)
+        assert report.ok, report.to_text()
+        assert sum(report.outcomes.values()) == 200
+        # The campaign exercises more than one outcome class.
+        assert report.outcomes["rejected"] + report.outcomes["concealed"] > 0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            run_fuzz(seed=0, budget=-1)
+
+    def test_seed_streams_span_coders_and_container_versions(self, streams):
+        assert set(streams) == {"cavlc-v2", "cabac-v2", "cavlc-v1"}
+        assert all(len(s) > 0 for s in streams.values())
+
+    def test_replay_of_empty_corpus_is_clean(self, tmp_path):
+        report = replay_corpus(tmp_path)
+        assert report.ok
+        assert report.budget == 0
+
+
+class TestCli:
+    def test_fuzz_command_exits_zero(self, capsys):
+        assert main(["fuzz", "--seed", "0", "--budget", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "no oracle violations" in out
+        assert "budget=40" in out
+
+    def test_replay_flag(self, tmp_path, capsys):
+        save_case(tmp_path, b"not even a stream", {"case": 0})
+        assert main(["fuzz", "--replay", str(tmp_path)]) == 0
+        assert "rejected=1" in capsys.readouterr().out
+
+    def test_corpus_dir_stays_empty_without_violations(self, tmp_path):
+        corpus = tmp_path / "corpus"
+        assert (
+            main(
+                [
+                    "fuzz",
+                    "--seed",
+                    "0",
+                    "--budget",
+                    "25",
+                    "--corpus",
+                    str(corpus),
+                    "--minimize",
+                ]
+            )
+            == 0
+        )
+        assert not list(Path(corpus).glob("*.bin")) if corpus.exists() else True

@@ -56,6 +56,12 @@ class TestFaultPlan:
             FaultPlan(straggler_factor=0.5)
         with pytest.raises(ValueError):
             FaultPlan(crash_waste=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(corrupt_stream_rate=1.2)
+        with pytest.raises(ValueError):
+            FaultPlan(
+                crash_rate=0.5, corrupt_rate=0.3, corrupt_stream_rate=0.3
+            )
 
     def test_rng_streams_are_independent(self):
         plan = FaultPlan(seed=7)
@@ -100,6 +106,33 @@ class TestFaultyTranscoder:
         assert result.quality_db < 15.0
         assert psnr(clip, result.output) < 15.0
         assert faulty.injected.corruptions == 1
+
+    def test_stream_corruption_degrades_not_destroys(self, clip):
+        """corrupt_stream damages the *bitstream*; the resilient decoder
+        conceals the hit frames, so the output survives with full frame
+        count and bounded damage -- unlike corrupt_rate's wrecked planes."""
+        plan = FaultPlan(seed=1, corrupt_stream_rate=1.0)
+        faulty = FaultyTranscoder(get_transcoder("x264:ultrafast"), plan)
+        result = faulty.transcode(clip, RateSpec.for_crf(23))
+        assert faulty.injected.stream_corruptions == 1
+        assert faulty.injected.stream_frames_seen == len(clip)
+        assert len(result.output) == len(clip)
+        assert result.output.name == clip.name
+        # Concealment keeps the output watchable: quality is far above
+        # the single-digit PSNR of a plane-inverted corruption.
+        assert psnr(clip, result.output) > 15.0
+
+    def test_stream_corruption_is_deterministic(self, clip):
+        plan = FaultPlan(seed=3, corrupt_stream_rate=1.0)
+
+        def run():
+            faulty = FaultyTranscoder(get_transcoder("x264:ultrafast"), plan)
+            out = faulty.transcode(clip, RateSpec.for_crf(23)).output
+            return [f.y.tobytes() for f in out.frames], (
+                faulty.injected.stream_corrupted_frames
+            )
+
+        assert run() == run()
 
     def test_fault_sequence_is_deterministic(self, clip):
         plan = FaultPlan(seed=9, crash_rate=0.5)

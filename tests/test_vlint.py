@@ -60,8 +60,15 @@ class TestSelfHosting:
         assert report.ok
         assert report.files_checked > 80
 
-    def test_all_five_rules_registered(self):
-        assert known_rules() == ["VL001", "VL002", "VL003", "VL004", "VL005"]
+    def test_all_six_rules_registered(self):
+        assert known_rules() == [
+            "VL001",
+            "VL002",
+            "VL003",
+            "VL004",
+            "VL005",
+            "VL006",
+        ]
 
 
 # ---------------------------------------------------------------------------
@@ -194,6 +201,41 @@ class TestExportSyncRule:
         assert lint_file(init, rules=["VL005"]) == []
 
 
+class TestExceptionHygieneRule:
+    FIXTURE = FIXTURES / "src" / "repro" / "codec" / "bad_exceptions.py"
+
+    def test_fires(self):
+        findings = lint_file(self.FIXTURE)
+        assert rules_in(findings) == {"VL006"}
+        messages = " | ".join(f.message for f in findings)
+        assert "read_marker" in messages
+        assert "decode_block" in messages
+        assert "ToyDecoder.parse" in messages
+        assert len(findings) == 3
+
+    def test_allowed_raises_not_flagged(self):
+        findings = lint_file(self.FIXTURE)
+        source = self.FIXTURE.read_text().splitlines()
+        for finding in findings:
+            assert "allowed" not in source[finding.line - 1]
+        messages = " | ".join(f.message for f in findings)
+        # Out-of-scope and write-side raises never appear.
+        assert "helper" not in messages
+        assert "ToyWriter" not in messages
+
+    def test_out_of_scope_module_ignored(self, tmp_path):
+        path = tmp_path / "src" / "repro" / "video" / "reader.py"
+        path.parent.mkdir(parents=True)
+        path.write_text(
+            "def read_thing(reader):\n    raise ValueError('fine here')\n"
+        )
+        assert lint_file(path, rules=["VL006"]) == []
+
+    def test_real_decode_paths_self_host_clean(self):
+        report = lint_paths([SRC / "codec"], rules=["VL006"])
+        assert report.findings == [], render_text(report)
+
+
 # ---------------------------------------------------------------------------
 # Engine: determinism, parallelism, module naming
 # ---------------------------------------------------------------------------
@@ -317,7 +359,7 @@ class TestReporters:
         payload = json.loads(once)
         assert payload["version"] == 1
         assert payload["ok"] is False
-        assert payload["files_checked"] == 5
+        assert payload["files_checked"] == 6
         finding = payload["findings"][0]
         assert set(finding) == {
             "rule", "path", "line", "column", "message", "severity",
@@ -331,7 +373,7 @@ class TestReporters:
         report = lint_paths([FIXTURES])
         text = render_text(report)
         assert f"{len(report.findings)} findings" in text
-        assert "in 5 files" in text
+        assert "in 6 files" in text
 
 
 # ---------------------------------------------------------------------------
@@ -346,7 +388,7 @@ class TestLintCli:
 
     def test_nonzero_on_each_rule_fixture(self, capsys):
         fixture_files = sorted(FIXTURES.rglob("*.py"))
-        assert len(fixture_files) == 5
+        assert len(fixture_files) == 6
         for path in fixture_files:
             assert main(["lint", str(path)]) == 1, path
         capsys.readouterr()
@@ -473,5 +515,5 @@ class TestSymmetryRoundTrip:
             BitWriter().write_bit(2)
 
     def test_read_array_rejects_bad_shape(self):
-        with pytest.raises(ValueError, match="1-D"):
+        with pytest.raises(TypeError, match="1-D"):
             BitReader(b"\x00").read_array(np.zeros((2, 2), dtype=np.int64))
