@@ -3,7 +3,8 @@
 The benchmark's scoring contract (byte-identical parallel/cached reports,
 replayable chaos runs) only holds if the encode path is a pure function of
 its inputs.  Inside the deterministic packages (``repro.codec``,
-``repro.exec``, ``repro.fuzz``, ``repro.robust``) this rule bans:
+``repro.exec``, ``repro.fuzz``, ``repro.robust``, ``repro.traffic``)
+this rule bans:
 
 * ``np.random.default_rng()`` called without a seed;
 * draws from the global ``random`` module (``random.random()``,
@@ -35,6 +36,7 @@ DETERMINISTIC_PACKAGES = (
     "repro.exec",
     "repro.fuzz",
     "repro.robust",
+    "repro.traffic",
 )
 
 #: ``random`` module attributes that pin or construct streams (allowed).

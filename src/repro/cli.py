@@ -12,6 +12,7 @@ script).  Commands:
 * ``entropy`` -- measure a clip's entropy (CRF-18 bits/pixel/second).
 * ``analyze`` -- microarchitecture + SIMD profile of encoding a clip.
 * ``chaos``   -- seeded fault-injection run of the transcoding farm.
+* ``traffic`` -- simulate a request stream against the farm; print SLOs.
 * ``fuzz``    -- deterministic structured fuzzing of the decoder.
 * ``lint``    -- the vlint static-analysis pass (VL001-VL006).
 
@@ -140,6 +141,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache",
         metavar="DIR",
         help="persistent transcode cache directory",
+    )
+
+    traffic = sub.add_parser(
+        "traffic",
+        help="simulate a request stream against the farm and report SLOs",
+    )
+    traffic.add_argument("--seed", type=int, default=0)
+    traffic.add_argument(
+        "--duration", type=float, default=3600.0, help="arrival window, seconds"
+    )
+    traffic.add_argument(
+        "--rps", type=float, default=0.4, help="aggregate steady-state arrivals/s"
+    )
+    traffic.add_argument(
+        "--workers", type=int, default=8, help="autoscaler fleet ceiling"
+    )
+    traffic.add_argument(
+        "--min-workers", type=int, default=0, help="fleet floor (0 = scale-to-zero)"
+    )
+    traffic.add_argument(
+        "--catalog", type=int, default=12, help="synthesized catalog titles"
+    )
+    traffic.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-stable JSON report instead of text",
+    )
+    traffic.add_argument(
+        "--bench-out",
+        metavar="FILE",
+        help="also write the compact benchmark record (BENCH_traffic.json)",
     )
 
     fuzz = sub.add_parser(
@@ -453,6 +485,39 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_traffic(args) -> int:
+    import json as json_module
+
+    from repro.traffic import (
+        ArrivalConfig,
+        AutoscalerConfig,
+        TrafficConfig,
+        run_traffic,
+    )
+
+    config = TrafficConfig(
+        arrivals=ArrivalConfig(duration_s=args.duration, rps=args.rps),
+        autoscaler=AutoscalerConfig(
+            min_workers=args.min_workers, max_workers=args.workers
+        ),
+        catalog_size=args.catalog,
+    )
+    report = run_traffic(config=config, seed=args.seed)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.to_text())
+    if args.bench_out:
+        from pathlib import Path
+
+        Path(args.bench_out).write_text(
+            json_module.dumps(report.bench_dict(), sort_keys=True, indent=2)
+            + "\n"
+        )
+        print(f"wrote {args.bench_out}", file=sys.stderr)
+    return 0
+
+
 def _cmd_fuzz(args) -> int:
     from repro.fuzz import DEFAULT_MAX_PIXELS, replay_corpus, run_fuzz
 
@@ -512,6 +577,7 @@ _COMMANDS = {
     "entropy": _cmd_entropy,
     "analyze": _cmd_analyze,
     "chaos": _cmd_chaos,
+    "traffic": _cmd_traffic,
     "fuzz": _cmd_fuzz,
     "lint": _cmd_lint,
 }

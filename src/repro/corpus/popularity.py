@@ -13,6 +13,7 @@ distribute over the corpus.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -36,6 +37,14 @@ class PopularityModel:
     total_views: float = 1.0e9
 
     def __post_init__(self) -> None:
+        # Non-finite parameters would sail through the sign checks below
+        # (inf > 0) and surface later as NaN view masses — i.e. NaN
+        # arrival rates once the traffic layer samples this model.  Fail
+        # at construction instead.
+        for name in ("alpha", "cutoff_rank", "total_views"):
+            value = getattr(self, name)
+            if not math.isfinite(value):
+                raise ValueError(f"{name} must be finite, got {value}")
         if self.alpha <= 0:
             raise ValueError(f"alpha must be positive, got {self.alpha}")
         if self.cutoff_rank <= 0:
@@ -70,6 +79,10 @@ class PopularityModel:
         """Draw watch events (1-based video ranks) from the distribution."""
         if n_samples < 0:
             raise ValueError(f"n_samples must be non-negative, got {n_samples}")
+        if n_videos <= 0:
+            raise ValueError(
+                f"cannot sample from an empty catalog, got {n_videos} videos"
+            )
         views = self.views(n_videos)
         probs = views / views.sum()
         return rng.choice(np.arange(1, n_videos + 1), size=n_samples, p=probs)

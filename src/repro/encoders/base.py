@@ -20,7 +20,7 @@ from repro.metrics.psnr import psnr
 from repro.metrics.speed import megapixels_per_second
 from repro.video.video import Video
 
-__all__ = ["RateSpec", "TranscodeResult", "Transcoder"]
+__all__ = ["RateSpec", "ScaledTranscoder", "TranscodeResult", "Transcoder"]
 
 
 @dataclass(frozen=True)
@@ -127,3 +127,32 @@ class Transcoder(abc.ABC):
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"
+
+
+class ScaledTranscoder(Transcoder):
+    """A backend whose modeled ``seconds`` are multiplied by a constant.
+
+    The benchmark's clips are tiny stand-ins for the category resolutions
+    they represent (``Video.nominal_resolution``), so their modeled
+    transcode times are milliseconds even though the titles they stand for
+    take seconds.  The traffic simulator scales modeled time back up so
+    queueing, deadlines, and autoscaling operate at the represented scale;
+    nothing about the produced bits changes, only the clock cost.
+    """
+
+    def __init__(self, inner: Transcoder, factor: float) -> None:
+        if not math.isfinite(factor) or factor <= 0:
+            raise ValueError(
+                f"time scale must be a positive finite factor, got {factor}"
+            )
+        self.inner = inner
+        self.factor = float(factor)
+        self.name = inner.name
+
+    def transcode(self, video: Video, rate: RateSpec) -> TranscodeResult:
+        result = self.inner.transcode(video, rate)
+        result.seconds *= self.factor
+        return result
+
+    def __repr__(self) -> str:
+        return f"ScaledTranscoder(inner={self.inner!r}, factor={self.factor})"

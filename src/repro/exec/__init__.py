@@ -25,6 +25,7 @@ from repro.exec.cache import (
     CacheCorruptError,
     CacheStats,
     CachingTranscoder,
+    MemoizingTranscoder,
     TranscodeCache,
     cache_key,
     video_digest,
@@ -40,6 +41,7 @@ __all__ = [
     "CacheCorruptError",
     "CacheStats",
     "CachingTranscoder",
+    "MemoizingTranscoder",
     "TranscodeCache",
     "cache_key",
     "prime_references",

@@ -53,6 +53,7 @@ __all__ = [
     "CacheCorruptError",
     "CacheStats",
     "CachingTranscoder",
+    "MemoizingTranscoder",
     "TranscodeCache",
     "cache_key",
     "video_digest",
@@ -421,3 +422,48 @@ class CachingTranscoder(Transcoder):
 
     def __repr__(self) -> str:
         return f"CachingTranscoder(inner={self.inner!r}, cache={self.cache!r})"
+
+
+class MemoizingTranscoder(Transcoder):
+    """An in-process transcode memo: same request, same result, no disk.
+
+    The traffic simulator replays the same small catalog of titles
+    thousands of times; re-encoding an identical request every arrival
+    would make simulated hours cost real hours.  This wrapper keys on the
+    same content address as :class:`TranscodeCache` (pixels + backend
+    knobs + rate), so two requests share an entry exactly when the
+    encoder would have done identical work, and every hit replays the
+    original modeled ``seconds`` — reports are byte-identical with or
+    without the memo.
+
+    Each hit returns a **fresh shallow copy** of the stored result.
+    Wrappers above this one mutate results in place
+    (:class:`~repro.encoders.base.ScaledTranscoder` scales ``seconds``,
+    :class:`~repro.robust.faults.FaultyTranscoder` rebinds ``output`` and
+    multiplies straggler ``seconds``), and handing out the stored object
+    itself would compound those mutations across hits.
+    """
+
+    def __init__(self, inner: Transcoder) -> None:
+        self.inner = inner
+        self.name = inner.name
+        self.hits = 0
+        self.misses = 0
+        self._memo: Dict[str, TranscodeResult] = {}
+
+    def transcode(self, video: Video, rate: RateSpec) -> TranscodeResult:
+        key = cache_key(video, self.inner, rate)
+        stored = self._memo.get(key)
+        if stored is None:
+            self.misses += 1
+            stored = self.inner.transcode(video, rate)
+            self._memo[key] = dataclasses.replace(stored)
+            return stored
+        self.hits += 1
+        return dataclasses.replace(stored)
+
+    def __repr__(self) -> str:
+        return (
+            f"MemoizingTranscoder(inner={self.inner!r}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

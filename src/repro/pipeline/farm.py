@@ -25,11 +25,17 @@ models parallelism deterministically on one interpreter thread.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.scenarios import Scenario
-from repro.encoders.base import RateSpec, Transcoder, TranscodeResult
+from repro.encoders.base import (
+    RateSpec,
+    ScaledTranscoder,
+    Transcoder,
+    TranscodeResult,
+)
 from repro.encoders.registry import HARDWARE_BACKENDS, get_transcoder
 from repro.pipeline.costs import CostModel, CostReport
 from repro.pipeline.service import ServiceConfig, SharingService, VideoRecord
@@ -57,6 +63,7 @@ __all__ = [
     "DeadLetter",
     "FarmConfig",
     "FarmJobError",
+    "JobTiming",
     "ResilientTranscoder",
     "RobustnessReport",
     "TranscodeFarm",
@@ -92,6 +99,12 @@ class FarmConfig:
             fall to.
         hardware_fallback: Final ladder rung (a hardware backend spec),
             or ``None`` for software-only ladders.
+        time_scale: Multiplier applied to every backend's modeled
+            ``seconds``.  The suite's clips are tiny stand-ins for the
+            category resolutions they represent, so their modeled times
+            are milliseconds; the traffic simulator scales them back up to
+            the represented scale so queueing and deadlines are exercised
+            realistically.  ``1.0`` (the default) leaves time untouched.
     """
 
     workers: int = 4
@@ -104,10 +117,15 @@ class FarmConfig:
     outage_detect_s: float = 0.01
     preset_fallbacks: Tuple[str, ...] = DEFAULT_PRESET_FALLBACKS
     hardware_fallback: Optional[str] = "qsv"
+    time_scale: float = 1.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError(f"need at least one worker, got {self.workers}")
+        if not math.isfinite(self.time_scale) or self.time_scale <= 0:
+            raise ValueError(
+                f"time scale must be positive and finite, got {self.time_scale}"
+            )
         if self.quality_floor_db < 0:
             raise ValueError(
                 f"quality floor must be non-negative, got {self.quality_floor_db}"
@@ -123,8 +141,39 @@ class DeadLetter:
     """A job the farm gave up on, with enough context to replay it."""
 
     job: str
-    stage: str  # "upload" or "promote"
+    stage: str  # "upload", "promote", or "job"
     reason: str
+
+
+@dataclass(frozen=True)
+class JobTiming:
+    """Per-job timing of one externally-scheduled transcode.
+
+    Returned by :meth:`TranscodeFarm.execute_job` so a scheduler above
+    the farm (the traffic simulator) can account queue wait and service
+    time per request.
+
+    Attributes:
+        job: Job label (defaults to the video name).
+        scenario: The scenario the job ran under.
+        started_s: Simulated time the transcode started.
+        finished_s: Simulated time it completed (or dead-lettered).
+        completed: Whether the job produced output; ``False`` means the
+            whole degradation ladder failed and the job dead-lettered.
+        reason: The dead-letter reason when ``completed`` is ``False``.
+    """
+
+    job: str
+    scenario: Scenario
+    started_s: float
+    finished_s: float
+    completed: bool
+    reason: str = ""
+
+    @property
+    def service_s(self) -> float:
+        """Simulated seconds the job occupied its worker."""
+        return self.finished_s - self.started_s
 
 
 @dataclass
@@ -416,6 +465,12 @@ class TranscodeFarm:
             fault injector, so chaos still fires on every call while the
             underlying clean encodes are reused; the compute the cache
             avoided is surfaced through the cost report.
+        memoize: Keep an in-process memo of completed transcodes (same
+            content-addressed keys as the cache, no disk).  Like the
+            cache, the memo sits inside the fault injector and the time
+            scaler, so the robustness stack runs on every call while
+            identical encodes are replayed — the traffic simulator's way
+            of serving thousands of requests over a small catalog.
     """
 
     def __init__(
@@ -427,6 +482,7 @@ class TranscodeFarm:
         cost_model: Optional[CostModel] = None,
         fault_plan: Optional[FaultPlan] = None,
         cache: Optional["TranscodeCache"] = None,
+        memoize: bool = False,
     ) -> None:
         self.config = config or FarmConfig()
         self.fault_plan = fault_plan
@@ -454,6 +510,12 @@ class TranscodeFarm:
             backend = get_transcoder(spec)
             if cache is not None:
                 backend = cache.wrap(backend)
+            if memoize:
+                from repro.exec.cache import MemoizingTranscoder
+
+                backend = MemoizingTranscoder(backend)
+            if self.config.time_scale != 1.0:
+                backend = ScaledTranscoder(backend, self.config.time_scale)
             if fault_plan is not None:
                 backend = FaultyTranscoder(backend, fault_plan, key=spec)
             self.pool[spec] = backend
@@ -527,6 +589,78 @@ class TranscodeFarm:
         """Upload a batch; returns the records that completed."""
         records = [self.upload(video, live=live) for video in videos]
         return [record for record in records if record is not None]
+
+    # -- externally-driven job streams ----------------------------------------
+
+    #: Bitrate operating point for rate-controlled traffic jobs, in bits
+    #: per pixel-second — scaled by each clip's pixel rate so every title
+    #: gets a comparable target regardless of its stand-in geometry.
+    JOB_BITS_PER_PIXEL_SECOND = 0.15
+    #: Floor below which a bitrate target is not meaningful for the codec.
+    JOB_MIN_BITRATE_BPS = 1000.0
+
+    def job_rate(self, video: Video, scenario: Scenario) -> RateSpec:
+        """The rate specification a traffic job runs under.
+
+        Upload jobs normalize at the service's constant-quality point;
+        Live jobs are single-pass rate-controlled (no second pass inside
+        a real-time budget); VOD and Popular jobs afford two-pass.
+        """
+        if scenario is Scenario.UPLOAD:
+            return RateSpec.for_crf(self.service.config.upload_crf)
+        target = max(
+            self.JOB_BITS_PER_PIXEL_SECOND * video.frame_pixels * video.fps,
+            self.JOB_MIN_BITRATE_BPS,
+        )
+        return RateSpec.for_bitrate(target, two_pass=not scenario.realtime)
+
+    def execute_job(
+        self,
+        video: Video,
+        scenario: Scenario,
+        at_s: float,
+        job: Optional[str] = None,
+        rate: Optional[RateSpec] = None,
+    ) -> JobTiming:
+        """Run one externally-scheduled transcode starting at ``at_s``.
+
+        This is the entry point for job streams driven from above the
+        farm (the traffic simulator): the caller owns worker placement
+        and queueing, the farm owns the robustness stack.  The clock is
+        seeked to ``at_s`` (the worker's dispatch time), the job runs
+        through the full retry/breaker/degradation ladder with its
+        scenario's deadline budget, and the timing of whatever happened
+        comes back as a :class:`JobTiming`.  A job that exhausts its
+        ladder is dead-lettered, never raised.
+        """
+        label = job if job is not None else video.name
+        self.clock.seek(at_s)
+        self.report.jobs_total += 1
+        adapter = self._popular if scenario is Scenario.POPULAR else self._delivery
+        adapter.set_budget(self.config.deadlines.budget_s(video, scenario))
+        spec = rate if rate is not None else self.job_rate(video, scenario)
+        try:
+            adapter.transcode(video, spec)
+        except FarmJobError as error:
+            self.report.dead_letters.append(
+                DeadLetter(job=label, stage="job", reason=error.reason)
+            )
+            return JobTiming(
+                job=label,
+                scenario=scenario,
+                started_s=at_s,
+                finished_s=self.clock.now,
+                completed=False,
+                reason=error.reason,
+            )
+        self.report.jobs_completed += 1
+        return JobTiming(
+            job=label,
+            scenario=scenario,
+            started_s=at_s,
+            finished_s=self.clock.now,
+            completed=True,
+        )
 
     # -- viewing --------------------------------------------------------------
 

@@ -14,7 +14,7 @@ farm over the sharing service.
 """
 
 from repro.robust.breaker import BreakerOpen, BreakerState, CircuitBreaker
-from repro.robust.clock import SimClock
+from repro.robust.clock import EventQueue, SimClock
 from repro.robust.degrade import DowngradeEvent, degradation_ladder
 from repro.robust.faults import (
     BackendOutage,
@@ -34,6 +34,7 @@ __all__ = [
     "DeadlineBudget",
     "DeadlinePolicy",
     "DowngradeEvent",
+    "EventQueue",
     "FaultCounts",
     "FaultError",
     "FaultPlan",

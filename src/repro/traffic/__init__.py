@@ -1,0 +1,57 @@
+"""Traffic simulation: admission control, backpressure, autoscaling, SLOs.
+
+The vbench paper benchmarks single transcodes; a video service lives or
+dies by how a *fleet* of transcoders absorbs a request stream.  This
+package closes that gap deterministically: seeded arrival processes
+(:mod:`~repro.traffic.arrivals`) drive the fault-tolerant farm through a
+bounded admission queue (:mod:`~repro.traffic.admission`) under a
+queue-depth autoscaler (:mod:`~repro.traffic.autoscaler`), and every
+request lifecycle is accounted in a byte-stable
+:class:`~repro.traffic.slo.SLOReport`
+(:mod:`~repro.traffic.simulator` owns the event loop).
+"""
+
+from repro.traffic.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    Decision,
+    ScenarioPolicy,
+)
+from repro.traffic.arrivals import (
+    ArrivalConfig,
+    Request,
+    SpikeWindow,
+    generate_arrivals,
+    generate_spikes,
+    rate_at,
+)
+from repro.traffic.autoscaler import (
+    AutoscalerConfig,
+    QueueDepthAutoscaler,
+    ScaleEvent,
+)
+from repro.traffic.simulator import TrafficConfig, TrafficSimulator, run_traffic
+from repro.traffic.slo import LatencySummary, ScenarioStats, SLOReport, percentile
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "ArrivalConfig",
+    "AutoscalerConfig",
+    "Decision",
+    "LatencySummary",
+    "QueueDepthAutoscaler",
+    "Request",
+    "SLOReport",
+    "ScaleEvent",
+    "ScenarioPolicy",
+    "ScenarioStats",
+    "SpikeWindow",
+    "TrafficConfig",
+    "TrafficSimulator",
+    "generate_arrivals",
+    "generate_spikes",
+    "percentile",
+    "rate_at",
+    "run_traffic",
+]

@@ -1,0 +1,188 @@
+"""Queue-depth autoscaling of simulated workers (the KEDA idiom).
+
+The Cloud-Video-Conversion-System architecture in SNIPPETS.md (Snippet 2)
+scales stateless transcode workers on RabbitMQ queue depth via KEDA:
+replicas follow ``ceil(depth / target_per_replica)``, the deployment can
+rest at **zero** replicas and *activate* when the first message lands,
+and scale-down waits out a cooldown so a bursty queue doesn't flap the
+fleet.  This module reproduces that control loop over simulated time:
+
+* evaluated on a fixed poll interval (KEDA's polling of the queue);
+* scale **up** is immediate — backlog is the one signal that never lies;
+* scale **down** only after ``scale_down_cooldown_s`` of continuously
+  low desire, and scale-to-zero only from an empty, idle system;
+* every transition lands in a :class:`ScaleEvent` log, because an
+  autoscaler you can't audit is indistinguishable from a flaky one.
+
+Like everything in this layer it is deterministic: decisions are pure
+functions of observed ``(now, depth, busy)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["AutoscalerConfig", "QueueDepthAutoscaler", "ScaleEvent"]
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """The scaling policy.
+
+    Attributes:
+        min_workers: Fleet floor; ``0`` enables scale-to-zero.
+        max_workers: Fleet ceiling (bounded workers are what make
+            overload — and therefore shedding — possible at all).
+        target_queue_per_worker: Desired replicas follow
+            ``ceil(depth / target_queue_per_worker)`` (KEDA's
+            ``queueLength`` trigger).
+        activation_depth: Queue depth that wakes a scaled-to-zero fleet
+            (KEDA's ``activationQueueLength``).
+        poll_interval_s: Simulated seconds between evaluations.
+        scale_down_cooldown_s: How long desire must stay below the
+            current size before any scale-down happens.
+    """
+
+    min_workers: int = 0
+    max_workers: int = 8
+    target_queue_per_worker: int = 4
+    activation_depth: int = 1
+    poll_interval_s: float = 5.0
+    scale_down_cooldown_s: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.min_workers < 0:
+            raise ValueError(f"min_workers must be >= 0, got {self.min_workers}")
+        if self.max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {self.max_workers}")
+        if self.min_workers > self.max_workers:
+            raise ValueError(
+                f"min_workers ({self.min_workers}) cannot exceed "
+                f"max_workers ({self.max_workers})"
+            )
+        if self.target_queue_per_worker < 1:
+            raise ValueError(
+                "target_queue_per_worker must be >= 1, got "
+                f"{self.target_queue_per_worker}"
+            )
+        if self.activation_depth < 1:
+            raise ValueError(
+                f"activation_depth must be >= 1, got {self.activation_depth}"
+            )
+        if not math.isfinite(self.poll_interval_s) or self.poll_interval_s <= 0:
+            raise ValueError(
+                f"poll interval must be positive, got {self.poll_interval_s}"
+            )
+        if (
+            not math.isfinite(self.scale_down_cooldown_s)
+            or self.scale_down_cooldown_s < 0
+        ):
+            raise ValueError(
+                "scale-down cooldown must be finite and >= 0, got "
+                f"{self.scale_down_cooldown_s}"
+            )
+
+
+@dataclass(frozen=True)
+class ScaleEvent:
+    """One audited fleet transition.
+
+    Attributes:
+        at_s: Simulated time of the transition.
+        from_workers: Fleet size before.
+        to_workers: Fleet size after.
+        reason: ``"scale-from-zero"``, ``"queue-depth"``,
+            ``"cooldown-expired"``, or ``"scale-to-zero"``.
+        queue_depth: Queue depth observed at the decision.
+    """
+
+    at_s: float
+    from_workers: int
+    to_workers: int
+    reason: str
+    queue_depth: int
+
+    def to_line(self) -> str:
+        return (
+            f"t={self.at_s:.6f} {self.from_workers} -> {self.to_workers} "
+            f"[{self.reason}] depth={self.queue_depth}"
+        )
+
+
+class QueueDepthAutoscaler:
+    """The control loop: poll queue depth, move the fleet toward desire."""
+
+    def __init__(self, config: Optional[AutoscalerConfig] = None) -> None:
+        self.config = config or AutoscalerConfig()
+        self.active = self.config.min_workers
+        self.peak = self.active
+        self.events: List[ScaleEvent] = []
+        self._low_since: Optional[float] = None
+
+    def desired(self, depth: int) -> int:
+        """Fleet size the observed queue depth calls for."""
+        if depth < 0:
+            raise ValueError(f"queue depth cannot be negative, got {depth}")
+        cfg = self.config
+        if depth == 0:
+            return cfg.min_workers
+        if self.active == 0 and depth < cfg.activation_depth:
+            # Not enough backlog to wake a sleeping fleet.
+            return 0
+        want = math.ceil(depth / cfg.target_queue_per_worker)
+        return max(cfg.min_workers, min(cfg.max_workers, want))
+
+    def evaluate(self, now: float, depth: int, busy: int) -> Optional[ScaleEvent]:
+        """One poll: returns the transition taken, if any.
+
+        ``busy`` guards scale-to-zero — a fleet still finishing jobs is
+        not idle even when the queue is empty.
+        """
+        if not math.isfinite(now):
+            raise ValueError(f"evaluation time must be finite, got {now}")
+        cfg = self.config
+        want = self.desired(depth)
+        if want > self.active:
+            reason = "scale-from-zero" if self.active == 0 else "queue-depth"
+            event = self._transition(now, want, reason, depth)
+            self._low_since = None
+            return event
+        if want < self.active:
+            if want == 0 and busy > 0:
+                # Don't start the idle countdown while jobs are in flight.
+                self._low_since = None
+                return None
+            if self._low_since is None:
+                self._low_since = now
+                return None
+            if now - self._low_since >= cfg.scale_down_cooldown_s:
+                reason = "scale-to-zero" if want == 0 else "cooldown-expired"
+                event = self._transition(now, want, reason, depth)
+                self._low_since = None
+                return event
+            return None
+        self._low_since = None
+        return None
+
+    def _transition(
+        self, now: float, to_workers: int, reason: str, depth: int
+    ) -> ScaleEvent:
+        event = ScaleEvent(
+            at_s=now,
+            from_workers=self.active,
+            to_workers=to_workers,
+            reason=reason,
+            queue_depth=depth,
+        )
+        self.events.append(event)
+        self.active = to_workers
+        self.peak = max(self.peak, to_workers)
+        return event
+
+    def __repr__(self) -> str:
+        return (
+            f"QueueDepthAutoscaler(active={self.active}, "
+            f"events={len(self.events)})"
+        )

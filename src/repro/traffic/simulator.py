@@ -1,0 +1,392 @@
+"""The traffic simulator: an event loop that makes the farm earn its SLOs.
+
+This is the tentpole of the robustness layer.  :class:`TrafficSimulator`
+replays a seeded request schedule (:mod:`repro.traffic.arrivals`) against
+a :class:`~repro.pipeline.farm.TranscodeFarm` through a bounded admission
+queue (:mod:`repro.traffic.admission`) while a queue-depth autoscaler
+(:mod:`repro.traffic.autoscaler`) grows and shrinks the simulated worker
+fleet.  Every request lifecycle —
+
+    arrival -> admit / shed / backpressure -> queue wait
+            -> transcode through the robustness stack
+            -> complete / dead-letter
+
+— lands in an :class:`~repro.traffic.slo.SLOReport`.
+
+Determinism is the design constraint everything else bends around.  The
+loop runs on two clocks: the **event clock** only moves forward
+(:meth:`SimClock.advance_to`), popping events from an :class:`EventQueue`
+in ``(when, sequence)`` order, while the **farm clock** is seeked to each
+job's dispatch time exactly as the farm does for its own workers.  All
+randomness lives in the arrival schedule's seeded substreams; admission,
+scaling, and dispatch are pure functions of observed state.  Two runs
+with the same seed and config therefore produce byte-identical reports —
+which is what turns "the farm survived the spike" from an anecdote into
+a regression test.
+
+Time scaling: the suite's clips are tiny stand-ins, so their modeled
+transcode times are milliseconds — no arrival rate a laptop can simulate
+would ever queue.  :attr:`TrafficConfig.time_scale` (via
+``FarmConfig.time_scale``) multiplies modeled service times back up to
+the scale of the resolutions the clips stand in for, so Live's real-time
+budget is actually at risk and admission control has something to do.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.core.scenarios import Scenario
+from repro.pipeline.farm import FarmConfig, JobTiming, TranscodeFarm
+from repro.robust.clock import EventQueue, SimClock
+from repro.robust.faults import FaultPlan
+from repro.traffic.admission import AdmissionConfig, AdmissionController
+from repro.traffic.arrivals import ArrivalConfig, Request, generate_arrivals
+from repro.traffic.autoscaler import AutoscalerConfig, QueueDepthAutoscaler
+from repro.traffic.slo import LatencySummary, ScenarioStats, SLOReport
+from repro.video.synthesis import synthesize
+from repro.video.video import Video
+
+__all__ = ["TrafficConfig", "TrafficSimulator", "run_traffic"]
+
+#: Fixed catalog content rotation (explicit tuple, not dict order).
+_CONTENT_CYCLE = (
+    "slideshow",
+    "screencast",
+    "animation",
+    "natural",
+    "gaming",
+    "sports",
+)
+
+#: EWMA weight for the service-time estimator feeding admission control.
+_EWMA_ALPHA = 0.3
+
+# Event kinds, popped from the EventQueue.
+_ARRIVAL = "arrival"
+_COMPLETE = "complete"
+_TICK = "tick"
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """Everything one traffic experiment is parameterized by.
+
+    Attributes:
+        arrivals: The offered load (rates, shares, diurnal, spikes).
+        admission: Per-class admission policies.
+        autoscaler: The worker-fleet scaling policy.
+        catalog_size: Number of synthesized titles requests draw from.
+        time_scale: Service-time multiplier (see module docstring);
+            forwarded to :class:`~repro.pipeline.farm.FarmConfig`.
+        clip_width: Stand-in clip geometry (kept tiny so the catalog
+            synthesizes in milliseconds).
+        clip_height: See ``clip_width``.
+        clip_frames: Frames per stand-in clip.
+        clip_fps: Frame rate; with ``clip_frames`` this sets the clip
+            duration and therefore Live's real-time deadline budget.
+    """
+
+    arrivals: ArrivalConfig = field(default_factory=ArrivalConfig)
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+    autoscaler: AutoscalerConfig = field(default_factory=AutoscalerConfig)
+    catalog_size: int = 12
+    time_scale: float = 300.0
+    clip_width: int = 48
+    clip_height: int = 32
+    clip_frames: int = 6
+    clip_fps: float = 12.0
+
+    def __post_init__(self) -> None:
+        if self.catalog_size < 1:
+            raise ValueError(
+                f"catalog needs at least one title, got {self.catalog_size}"
+            )
+        if not math.isfinite(self.time_scale) or self.time_scale <= 0:
+            raise ValueError(
+                f"time scale must be positive and finite, got {self.time_scale}"
+            )
+        if self.clip_frames < 1:
+            raise ValueError(f"clips need >= 1 frame, got {self.clip_frames}")
+        if not math.isfinite(self.clip_fps) or self.clip_fps <= 0:
+            raise ValueError(f"clip fps must be positive, got {self.clip_fps}")
+
+
+@dataclass(frozen=True)
+class _Queued:
+    """One admitted request waiting for a worker."""
+
+    request: Request
+    enqueued_s: float
+
+
+class TrafficSimulator:
+    """Drive a farm with generated traffic and account every request.
+
+    Args:
+        config: The experiment parameters.
+        seed: Root seed; arrivals, spikes, ranks, and catalog content are
+            all derived from substreams of it.
+        fault_plan: Optional chaos to inject under the traffic (the
+            robustness stack runs either way).
+    """
+
+    def __init__(
+        self,
+        config: Optional[TrafficConfig] = None,
+        seed: int = 0,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
+        self.config = config or TrafficConfig()
+        self.seed = int(seed)
+        self.farm = TranscodeFarm(
+            config=FarmConfig(time_scale=self.config.time_scale),
+            fault_plan=fault_plan,
+            memoize=True,
+        )
+        self.catalog: List[Video] = [
+            self._make_title(rank) for rank in range(1, self.config.catalog_size + 1)
+        ]
+        self.admission = AdmissionController(self.config.admission)
+        self.scaler = QueueDepthAutoscaler(self.config.autoscaler)
+        self.clock = SimClock()  # The global event clock; only moves forward.
+        self.events = EventQueue()
+        self.queue: Deque[_Queued] = deque()
+        self.busy = 0
+        self.stats: Dict[str, ScenarioStats] = {}
+        self._wait_samples: Dict[str, List[float]] = {}
+        self._e2e_samples: Dict[str, List[float]] = {}
+        # Service-time estimator state for admission's wait predictions.
+        self._ewma: Dict[Scenario, float] = {}
+        self._known: Dict[Tuple[Scenario, int], float] = {}
+        # Capacity accounting for the utilization number.
+        self._accrued_to = 0.0
+        self._busy_worker_s = 0.0
+        self._capacity_s = 0.0
+        self._makespan = 0.0
+
+    # -- setup ----------------------------------------------------------------
+
+    def _make_title(self, rank: int) -> Video:
+        content = _CONTENT_CYCLE[(rank - 1) % len(_CONTENT_CYCLE)]
+        return synthesize(
+            content,
+            self.config.clip_width,
+            self.config.clip_height,
+            self.config.clip_frames,
+            self.config.clip_fps,
+            seed=self.seed * 1009 + rank,
+            name=f"title-{rank:04d}-{content}",
+        )
+
+    def _stats_for(self, scenario: Scenario) -> ScenarioStats:
+        name = scenario.value
+        if name not in self.stats:
+            self.stats[name] = ScenarioStats(scenario=name)
+            self._wait_samples[name] = []
+            self._e2e_samples[name] = []
+        return self.stats[name]
+
+    def _video_for(self, request: Request) -> Video:
+        return self.catalog[(request.rank - 1) % len(self.catalog)]
+
+    # -- service-time estimation ----------------------------------------------
+
+    def _expected_service_s(self, request: Request) -> float:
+        """Best estimate of this request's service time.
+
+        Exact once this (scenario, rank) has completed before (the farm
+        is deterministic, so a repeat costs what it cost last time);
+        otherwise the scenario's EWMA; otherwise 0 — the estimator is
+        deliberately optimistic before any evidence, so the first
+        requests of a cold run are admitted rather than guessed away.
+        """
+        known = self._known.get((request.scenario, request.rank))
+        if known is not None:
+            return known
+        return self._ewma.get(request.scenario, 0.0)
+
+    def _observe_service(self, request: Request, service_s: float) -> None:
+        self._known[(request.scenario, request.rank)] = service_s
+        previous = self._ewma.get(request.scenario)
+        if previous is None:
+            self._ewma[request.scenario] = service_s
+        else:
+            self._ewma[request.scenario] = (
+                _EWMA_ALPHA * service_s + (1.0 - _EWMA_ALPHA) * previous
+            )
+
+    def _expected_wait_s(self, request: Request) -> float:
+        """Predicted queue wait if this request were admitted now."""
+        depth = len(self.queue)
+        service = self._expected_service_s(request)
+        workers = max(self.scaler.active, 1)
+        wait = depth / workers * service
+        if self.scaler.active == 0:
+            # A sleeping fleet can't start anything until the next poll.
+            wait += self.config.autoscaler.poll_interval_s
+        return wait
+
+    # -- the event loop -------------------------------------------------------
+
+    def run(self) -> SLOReport:
+        """Run the experiment to completion and return its report."""
+        requests = generate_arrivals(
+            self.config.arrivals, self.config.catalog_size, self.seed
+        )
+        for scenario in (Scenario.UPLOAD, Scenario.LIVE, Scenario.VOD):
+            self._stats_for(scenario)
+        self.events.schedule(0.0, (_TICK, None))
+        for request in requests:
+            self._stats_for(request.scenario).arrived += 1
+            self.events.schedule(request.arrival_s, (_ARRIVAL, (request, 1)))
+        while self.events:
+            when, (kind, payload) = self.events.pop()
+            self._accrue(when)
+            self.clock.advance_to(when)
+            now = self.clock.now
+            self._makespan = max(self._makespan, now)
+            if kind == _ARRIVAL:
+                request, attempt = payload
+                self._handle_arrival(now, request, attempt)
+            elif kind == _COMPLETE:
+                self._handle_complete(now, payload)
+            elif kind == _TICK:
+                self._handle_tick(now)
+            else:  # pragma: no cover - the loop schedules only known kinds
+                raise RuntimeError(f"unknown event kind {kind!r}")
+        return self._finalize()
+
+    def _accrue(self, until: float) -> None:
+        """Integrate busy/capacity worker-seconds up to ``until``."""
+        dt = until - self._accrued_to
+        if dt <= 0:
+            return
+        self._busy_worker_s += self.busy * dt
+        # Workers finishing jobs after a scale-down still exist until they
+        # drain, so capacity is never less than what is actually busy.
+        self._capacity_s += max(self.scaler.active, self.busy) * dt
+        self._accrued_to = until
+
+    def _handle_arrival(self, now: float, request: Request, attempt: int) -> None:
+        stats = self._stats_for(request.scenario)
+        video = self._video_for(request)
+        budget = self.farm.config.deadlines.budget_s(video, request.scenario)
+        slack = budget - self._expected_service_s(request)
+        decision = self.admission.decide(
+            request.scenario,
+            depth=len(self.queue),
+            expected_wait_s=self._expected_wait_s(request),
+            deadline_slack_s=slack,
+            attempt=attempt,
+        )
+        if decision.admitted:
+            stats.admitted += 1
+            self.queue.append(_Queued(request=request, enqueued_s=now))
+            self._dispatch(now)
+        elif decision.verdict == "retry":
+            stats.backpressure_retries += 1
+            self.events.schedule(
+                now + decision.retry_delay_s, (_ARRIVAL, (request, attempt + 1))
+            )
+        else:
+            stats.shed += 1
+            if decision.reason == "deadline":
+                stats.shed_deadline += 1
+            else:
+                stats.shed_queue_full += 1
+
+    def _dispatch(self, now: float) -> None:
+        """Start queued jobs while free workers exist."""
+        while self.queue and self.busy < self.scaler.active:
+            item = self.queue.popleft()
+            request = item.request
+            stats = self._stats_for(request.scenario)
+            wait = now - item.enqueued_s
+            self._wait_samples[request.scenario.value].append(wait)
+            video = self._video_for(request)
+            budget = self.farm.config.deadlines.budget_s(video, request.scenario)
+            if (
+                request.scenario.realtime
+                and wait + self._expected_service_s(request) > budget
+            ):
+                # Too stale to bother: starting it now would only waste a
+                # worker on a stream that has already moved on.
+                stats.timed_out += 1
+                continue
+            self.busy += 1
+            timing = self.farm.execute_job(
+                video,
+                request.scenario,
+                at_s=now,
+                job=f"req-{request.rid:06d}",
+            )
+            self.events.schedule(
+                timing.finished_s, (_COMPLETE, (item, timing, budget))
+            )
+
+    def _handle_complete(
+        self, now: float, payload: Tuple[_Queued, JobTiming, float]
+    ) -> None:
+        item, timing, budget = payload
+        request = item.request
+        stats = self._stats_for(request.scenario)
+        self.busy -= 1
+        self._observe_service(request, timing.service_s)
+        if timing.completed:
+            stats.completed += 1
+            e2e = now - request.arrival_s
+            self._e2e_samples[request.scenario.value].append(e2e)
+            if e2e > budget:
+                stats.slo_violations += 1
+        else:
+            stats.dead_lettered += 1
+        self._dispatch(now)
+
+    def _handle_tick(self, now: float) -> None:
+        self.scaler.evaluate(now, depth=len(self.queue), busy=self.busy)
+        self._dispatch(now)
+        next_tick = now + self.config.autoscaler.poll_interval_s
+        if (
+            now < self.config.arrivals.duration_s
+            or self.queue
+            or self.busy > 0
+            or self.events
+            or self.scaler.active > self.config.autoscaler.min_workers
+        ):
+            self.events.schedule(next_tick, (_TICK, None))
+
+    # -- reporting ------------------------------------------------------------
+
+    def _finalize(self) -> SLOReport:
+        for name, stats in self.stats.items():
+            stats.queue_wait = LatencySummary.from_samples(self._wait_samples[name])
+            stats.e2e = LatencySummary.from_samples(self._e2e_samples[name])
+        utilization = (
+            self._busy_worker_s / self._capacity_s if self._capacity_s > 0 else 0.0
+        )
+        return SLOReport(
+            seed=self.seed,
+            duration_s=self.config.arrivals.duration_s,
+            makespan_s=self._makespan,
+            scenarios=self.stats,
+            scale_events=list(self.scaler.events),
+            min_workers=self.config.autoscaler.min_workers,
+            max_workers=self.config.autoscaler.max_workers,
+            peak_workers=self.scaler.peak,
+            utilization=utilization,
+            busy_worker_s=self._busy_worker_s,
+            catalog_size=self.config.catalog_size,
+        )
+
+
+def run_traffic(
+    config: Optional[TrafficConfig] = None,
+    seed: int = 0,
+    fault_plan: Optional[FaultPlan] = None,
+) -> SLOReport:
+    """Convenience wrapper: build a simulator, run it, return the report."""
+    return TrafficSimulator(config=config, seed=seed, fault_plan=fault_plan).run()

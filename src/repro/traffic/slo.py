@@ -1,0 +1,334 @@
+"""SLO accounting: every request's lifecycle, rendered byte-stably.
+
+A traffic experiment is only as good as its ledger.  Every request that
+enters the simulator ends in exactly one of five states — completed,
+shed at admission, timed out in queue, backpressure-exhausted, or
+dead-lettered by the farm — and this module folds those lifecycles into
+per-scenario latency distributions (p50/p95/p99 queue wait and
+end-to-end), SLO violation counts, the autoscaler's event log, and fleet
+utilization.
+
+Like :class:`~repro.pipeline.farm.RobustnessReport`, the text rendering
+uses fixed precision and fixed ordering, so two runs under the same seed
+produce byte-identical reports; ``to_json()`` is the machine-stable twin
+(sorted keys, fixed float rounding) whose SHA-256 ``digest()`` is what
+CI pins.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.traffic.autoscaler import ScaleEvent
+
+__all__ = [
+    "LatencySummary",
+    "SLOReport",
+    "ScenarioStats",
+    "percentile",
+]
+
+#: Fixed scenario ordering for all renderings.
+SCENARIO_ORDER = ("upload", "live", "vod")
+
+#: Decimal places used when serializing floats to JSON.  Rounding makes
+#: the JSON immune to representation noise without losing anything a
+#: latency SLO cares about (1e-9 s).
+_JSON_DECIMALS = 9
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation).
+
+    Returns 0.0 for an empty sample set — reports render "no data" as
+    zeros rather than NaN so their text stays byte-stable.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    if q == 0.0:
+        return ordered[0]
+    rank = math.ceil(q / 100.0 * len(ordered))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """A latency distribution, reduced to the quantiles SLOs quote."""
+
+    count: int = 0
+    p50_s: float = 0.0
+    p95_s: float = 0.0
+    p99_s: float = 0.0
+    mean_s: float = 0.0
+    max_s: float = 0.0
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "LatencySummary":
+        if not samples:
+            return cls()
+        return cls(
+            count=len(samples),
+            p50_s=percentile(samples, 50.0),
+            p95_s=percentile(samples, 95.0),
+            p99_s=percentile(samples, 99.0),
+            mean_s=sum(samples) / len(samples),
+            max_s=max(samples),
+        )
+
+    def to_line(self) -> str:
+        return (
+            f"p50={self.p50_s:.6f}s p95={self.p95_s:.6f}s "
+            f"p99={self.p99_s:.6f}s max={self.max_s:.6f}s"
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "p50_s": round(self.p50_s, _JSON_DECIMALS),
+            "p95_s": round(self.p95_s, _JSON_DECIMALS),
+            "p99_s": round(self.p99_s, _JSON_DECIMALS),
+            "mean_s": round(self.mean_s, _JSON_DECIMALS),
+            "max_s": round(self.max_s, _JSON_DECIMALS),
+        }
+
+
+@dataclass
+class ScenarioStats:
+    """One traffic class's ledger.
+
+    Every arrival is counted once under ``arrived``; retries of the same
+    logical request show up in ``backpressure_retries`` instead.  The
+    terminal states partition ``arrived``:
+    ``completed + shed + timed_out + dead_lettered == arrived`` once the
+    run has drained.
+    """
+
+    scenario: str
+    arrived: int = 0
+    admitted: int = 0
+    completed: int = 0
+    shed: int = 0
+    shed_deadline: int = 0
+    shed_queue_full: int = 0
+    timed_out: int = 0
+    dead_lettered: int = 0
+    backpressure_retries: int = 0
+    slo_violations: int = 0
+    queue_wait: LatencySummary = field(default_factory=LatencySummary)
+    e2e: LatencySummary = field(default_factory=LatencySummary)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "arrived": self.arrived,
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "shed": self.shed,
+            "shed_deadline": self.shed_deadline,
+            "shed_queue_full": self.shed_queue_full,
+            "timed_out": self.timed_out,
+            "dead_lettered": self.dead_lettered,
+            "backpressure_retries": self.backpressure_retries,
+            "slo_violations": self.slo_violations,
+            "queue_wait": self.queue_wait.as_dict(),
+            "e2e": self.e2e.as_dict(),
+        }
+
+
+@dataclass
+class SLOReport:
+    """Everything one traffic experiment observed.
+
+    ``to_text()`` renders with fixed precision and fixed scenario order;
+    ``to_json()`` is its machine twin.  Two runs under the same seed and
+    config produce byte-identical output from both.
+    """
+
+    seed: int = 0
+    duration_s: float = 0.0
+    makespan_s: float = 0.0
+    scenarios: Dict[str, ScenarioStats] = field(default_factory=dict)
+    scale_events: List[ScaleEvent] = field(default_factory=list)
+    min_workers: int = 0
+    max_workers: int = 0
+    peak_workers: int = 0
+    utilization: float = 0.0
+    busy_worker_s: float = 0.0
+    catalog_size: int = 0
+
+    # -- aggregates -----------------------------------------------------------
+
+    def _total(self, attr: str) -> int:
+        return sum(getattr(stats, attr) for stats in self.scenarios.values())
+
+    @property
+    def arrived(self) -> int:
+        return self._total("arrived")
+
+    @property
+    def completed(self) -> int:
+        return self._total("completed")
+
+    @property
+    def shed(self) -> int:
+        return self._total("shed")
+
+    @property
+    def timed_out(self) -> int:
+        return self._total("timed_out")
+
+    @property
+    def dead_lettered(self) -> int:
+        return self._total("dead_lettered")
+
+    @property
+    def slo_violations(self) -> int:
+        return self._total("slo_violations")
+
+    @property
+    def offered_rps(self) -> float:
+        return self.arrived / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def completed_rps(self) -> float:
+        return self.completed / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def shed_fraction(self) -> float:
+        """Requests rejected (at admission or in queue) per arrival."""
+        if self.arrived == 0:
+            return 0.0
+        return (self.shed + self.timed_out) / self.arrived
+
+    # -- renderings -----------------------------------------------------------
+
+    def _ordered(self) -> List[ScenarioStats]:
+        ordered = [
+            self.scenarios[name]
+            for name in SCENARIO_ORDER
+            if name in self.scenarios
+        ]
+        for name in sorted(self.scenarios):
+            if name not in SCENARIO_ORDER:
+                ordered.append(self.scenarios[name])
+        return ordered
+
+    def to_text(self) -> str:
+        lines = [
+            "SLOReport",
+            f"  seed:            {self.seed}",
+            f"  duration:        {self.duration_s:.6f} s offered, "
+            f"makespan {self.makespan_s:.6f} s",
+            f"  requests:        {self.arrived} arrived "
+            f"({self.offered_rps:.6f} rps), {self.completed} completed "
+            f"({self.completed_rps:.6f} rps)",
+            f"  rejected:        {self.shed} shed, {self.timed_out} timed out "
+            f"in queue, {self.dead_lettered} dead-lettered "
+            f"(shed fraction {self.shed_fraction:.6f})",
+            f"  slo violations:  {self.slo_violations}",
+            f"  workers:         min={self.min_workers} max={self.max_workers} "
+            f"peak={self.peak_workers} utilization={self.utilization:.6f} "
+            f"busy={self.busy_worker_s:.6f}s",
+            f"  catalog:         {self.catalog_size} titles",
+        ]
+        for stats in self._ordered():
+            lines.append(f"  {stats.scenario}:")
+            lines.append(
+                f"    arrived={stats.arrived} admitted={stats.admitted} "
+                f"completed={stats.completed} dead-lettered={stats.dead_lettered}"
+            )
+            lines.append(
+                f"    shed={stats.shed} (deadline={stats.shed_deadline} "
+                f"queue-full={stats.shed_queue_full}) "
+                f"timed-out={stats.timed_out} "
+                f"backpressure-retries={stats.backpressure_retries}"
+            )
+            lines.append(f"    queue wait:      {stats.queue_wait.to_line()}")
+            lines.append(f"    end-to-end:      {stats.e2e.to_line()}")
+            lines.append(f"    slo violations:  {stats.slo_violations}")
+        lines.append(f"  autoscaler events ({len(self.scale_events)}):")
+        for event in self.scale_events:
+            lines.append(f"    {event.to_line()}")
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "version": 1,
+            "seed": self.seed,
+            "duration_s": round(self.duration_s, _JSON_DECIMALS),
+            "makespan_s": round(self.makespan_s, _JSON_DECIMALS),
+            "arrived": self.arrived,
+            "completed": self.completed,
+            "shed": self.shed,
+            "timed_out": self.timed_out,
+            "dead_lettered": self.dead_lettered,
+            "slo_violations": self.slo_violations,
+            "offered_rps": round(self.offered_rps, _JSON_DECIMALS),
+            "completed_rps": round(self.completed_rps, _JSON_DECIMALS),
+            "shed_fraction": round(self.shed_fraction, _JSON_DECIMALS),
+            "workers": {
+                "min": self.min_workers,
+                "max": self.max_workers,
+                "peak": self.peak_workers,
+                "utilization": round(self.utilization, _JSON_DECIMALS),
+                "busy_s": round(self.busy_worker_s, _JSON_DECIMALS),
+            },
+            "catalog_size": self.catalog_size,
+            "scenarios": {
+                stats.scenario: stats.as_dict() for stats in self._ordered()
+            },
+            "scale_events": [
+                {
+                    "at_s": round(event.at_s, _JSON_DECIMALS),
+                    "from_workers": event.from_workers,
+                    "to_workers": event.to_workers,
+                    "reason": event.reason,
+                    "queue_depth": event.queue_depth,
+                }
+                for event in self.scale_events
+            ],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), sort_keys=True, indent=2)
+
+    def digest(self) -> str:
+        """SHA-256 of the JSON rendering — the byte-stability fingerprint."""
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
+
+    def bench_dict(self) -> Dict[str, object]:
+        """The compact benchmark record CI appends to the perf trajectory.
+
+        Follows the structured ``BenchmarkResult`` idiom (SNIPPETS.md
+        Snippet 1): a name, the parameters that produced the number, and
+        the metrics worth tracking across PRs.
+        """
+        live = self.scenarios.get("live")
+        return {
+            "name": "traffic-slo",
+            "version": 1,
+            "parameters": {
+                "seed": self.seed,
+                "duration_s": round(self.duration_s, _JSON_DECIMALS),
+                "catalog_size": self.catalog_size,
+                "max_workers": self.max_workers,
+                "min_workers": self.min_workers,
+            },
+            "metrics": {
+                "throughput_rps": round(self.completed_rps, _JSON_DECIMALS),
+                "offered_rps": round(self.offered_rps, _JSON_DECIMALS),
+                "shed_fraction": round(self.shed_fraction, _JSON_DECIMALS),
+                "utilization": round(self.utilization, _JSON_DECIMALS),
+                "live_p99_e2e_s": round(
+                    live.e2e.p99_s if live else 0.0, _JSON_DECIMALS
+                ),
+                "slo_violations": self.slo_violations,
+            },
+            "digest": self.digest(),
+        }

@@ -154,3 +154,37 @@ class TestChaos:
         assert main(["chaos", "--profile", "tiny", "--k", "2", "--seed", "99",
                      "--views", "0"] + dead) == 0
         assert "0 completed, 2 dead-lettered" in capsys.readouterr().out
+
+
+class TestTraffic:
+    ARGS = ["traffic", "--seed", "7", "--duration", "120", "--rps", "0.8",
+            "--catalog", "6"]
+
+    def test_runs_and_reports(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "SLOReport" in out
+        assert "autoscaler events" in out
+
+    def test_json_is_byte_identical_under_seed(self, capsys):
+        assert main(self.ARGS + ["--json"]) == 0
+        first = capsys.readouterr().out
+        assert main(self.ARGS + ["--json"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_bench_record_written(self, tmp_path, capsys):
+        bench = tmp_path / "BENCH_traffic.json"
+        assert main(self.ARGS + ["--json", "--bench-out", str(bench)]) == 0
+        captured = capsys.readouterr()
+        assert "wrote" in captured.err  # diagnostics stay off stdout
+        import json
+
+        record = json.loads(bench.read_text())
+        report = json.loads(captured.out)
+        assert record["name"] == "traffic-slo"
+        assert record["parameters"]["seed"] == 7
+        assert record["metrics"]["throughput_rps"] == report["completed_rps"]
+
+    def test_invalid_duration_exits_2(self, capsys):
+        assert main(["traffic", "--duration", "0"]) == 2
+        assert "error" in capsys.readouterr().err

@@ -251,6 +251,92 @@ class TestDeadlinesAndDegradation:
         assert report.deadline_retry_skips > 0
         assert report.retries == 0  # no backoff ever fit the budget
 
+    def test_budget_exhausted_mid_ladder_degrades_with_reason(self):
+        # Crash every attempt under a budget too small for any backoff:
+        # the job must fall rung to rung for the *deadline* reason -- the
+        # degradation ladder keeps moving even after the budget is spent
+        # mid-ladder, because the last rung is the only alternative to
+        # losing the job.
+        plan = FaultPlan(seed=2, crash_rate=1.0, dead_backends=frozenset())
+        config = FarmConfig(
+            workers=1,
+            retry=RetryPolicy(max_attempts=3, base_delay_s=10.0, jitter=0.0),
+            deadlines=DeadlinePolicy(live_factor=1.0, batch_factor=1.0,
+                                     floor_s=0.05),
+        )
+        farm = TranscodeFarm(
+            delivery_backend="x264:veryslow", config=config, fault_plan=plan
+        )
+        farm.upload(make_clips()[0])
+        report = farm.finalize()
+        deadline_downgrades = [
+            e for e in report.downgrades if e.reason == "deadline"
+        ]
+        assert deadline_downgrades
+        # Every rung was visited in ladder order before the dead letter.
+        specs = [e.from_spec for e in report.downgrades]
+        assert specs == sorted(set(specs), key=specs.index)
+        assert report.jobs_completed == 0
+        assert report.dead_letters
+
+
+class TestJobStream:
+    """execute_job: the traffic simulator's entry point into the farm."""
+
+    def test_job_timing_accounts_service(self):
+        from repro.core.scenarios import Scenario
+
+        farm = TranscodeFarm(config=FarmConfig(workers=1))
+        clip = make_clips()[0]
+        timing = farm.execute_job(clip, Scenario.VOD, at_s=12.5)
+        assert timing.completed
+        assert timing.started_s == 12.5
+        assert timing.finished_s > timing.started_s
+        assert timing.service_s == pytest.approx(
+            timing.finished_s - timing.started_s
+        )
+        assert farm.report.jobs_completed == 1
+
+    def test_time_scale_multiplies_service(self):
+        from repro.core.scenarios import Scenario
+
+        clip = make_clips()[0]
+        base = TranscodeFarm(config=FarmConfig(workers=1)).execute_job(
+            clip, Scenario.VOD, at_s=0.0
+        )
+        scaled = TranscodeFarm(
+            config=FarmConfig(workers=1, time_scale=100.0)
+        ).execute_job(clip, Scenario.VOD, at_s=0.0)
+        assert scaled.service_s == pytest.approx(base.service_s * 100.0)
+
+    def test_memoized_repeats_cost_the_same_simulated_time(self):
+        from repro.core.scenarios import Scenario
+
+        farm = TranscodeFarm(config=FarmConfig(workers=1), memoize=True)
+        clip = make_clips()[0]
+        first = farm.execute_job(clip, Scenario.VOD, at_s=0.0)
+        second = farm.execute_job(clip, Scenario.VOD, at_s=50.0)
+        # The memo replays the encode, but simulated time is unchanged:
+        # a repeat costs what the original cost.
+        assert second.service_s == pytest.approx(first.service_s)
+
+    def test_exhausted_ladder_dead_letters_not_raises(self):
+        from repro.core.scenarios import Scenario
+
+        dead = frozenset(
+            {"x264:medium", "x264:veryfast", "x264:ultrafast", "qsv"}
+        )
+        farm = TranscodeFarm(
+            delivery_backend="x264:medium",
+            config=FarmConfig(workers=1),
+            fault_plan=FaultPlan(dead_backends=dead),
+        )
+        timing = farm.execute_job(make_clips()[0], Scenario.VOD, at_s=0.0)
+        assert not timing.completed
+        assert timing.reason
+        letters = [l for l in farm.report.dead_letters if l.stage == "job"]
+        assert len(letters) == 1
+
 
 class TestFarmConfig:
     def test_validation(self):
@@ -260,3 +346,7 @@ class TestFarmConfig:
             FarmConfig(quality_floor_db=-1)
         with pytest.raises(ValueError):
             FarmConfig(outage_detect_s=-0.1)
+        with pytest.raises(ValueError):
+            FarmConfig(time_scale=0.0)
+        with pytest.raises(ValueError):
+            FarmConfig(time_scale=float("nan"))

@@ -57,11 +57,23 @@ class TestValidation:
             {"alpha": 0},
             {"cutoff_rank": 0},
             {"total_views": 0},
+            {"alpha": float("nan")},
+            {"alpha": float("inf")},
+            {"cutoff_rank": float("nan")},
+            {"cutoff_rank": float("inf")},
+            {"total_views": float("nan")},
+            {"total_views": float("inf")},
         ],
     )
     def test_constructor(self, kwargs):
         with pytest.raises(ValueError):
             PopularityModel(**kwargs)
+
+    def test_sampling_from_empty_catalog_rejected(self, rng):
+        with pytest.raises(ValueError, match="empty catalog"):
+            PopularityModel().sample_ranks(5, 0, rng)
+        with pytest.raises(ValueError, match="empty catalog"):
+            PopularityModel().sample_ranks(5, -1, rng)
 
     def test_views_needs_positive_corpus(self):
         with pytest.raises(ValueError):

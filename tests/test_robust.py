@@ -6,7 +6,7 @@ from repro.encoders.base import RateSpec
 from repro.encoders.registry import get_transcoder
 from repro.metrics.psnr import psnr
 from repro.robust.breaker import BreakerOpen, BreakerState, CircuitBreaker
-from repro.robust.clock import SimClock
+from repro.robust.clock import EventQueue, SimClock
 from repro.robust.degrade import degradation_ladder
 from repro.robust.faults import (
     BackendOutage,
@@ -37,6 +37,17 @@ class TestSimClock:
         clock.seek(2.0)  # another worker's frontier may be earlier
         assert clock.now == 2.0
 
+    def test_advance_to_never_rewinds(self):
+        # The event-loop contract: a stale target is a no-op, so the
+        # traffic simulator's global clock is monotone even when events
+        # carry equal timestamps.
+        clock = SimClock(start=3.0)
+        assert clock.advance_to(1.0) == 3.0
+        assert clock.now == 3.0
+        assert clock.advance_to(3.0) == 3.0
+        assert clock.advance_to(4.5) == 4.5
+        assert clock.now == 4.5
+
     def test_validation(self):
         with pytest.raises(ValueError):
             SimClock(start=-1.0)
@@ -44,6 +55,55 @@ class TestSimClock:
             SimClock().advance(-0.1)
         with pytest.raises(ValueError):
             SimClock().seek(-2.0)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_non_finite_times_rejected(self, bad):
+        with pytest.raises(ValueError):
+            SimClock().seek(bad)
+        with pytest.raises(ValueError):
+            SimClock().advance(bad)
+        with pytest.raises(ValueError):
+            SimClock().advance_to(bad)
+        with pytest.raises(ValueError):
+            SimClock(start=bad)
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        queue.schedule(3.0, "c")
+        queue.schedule(1.0, "a")
+        queue.schedule(2.0, "b")
+        assert queue.peek_when() == 1.0
+        assert [queue.pop() for _ in range(3)] == [
+            (1.0, "a"), (2.0, "b"), (3.0, "c")
+        ]
+
+    def test_ties_break_by_insertion_order(self):
+        # Payloads are never compared, so simultaneous events need no
+        # ordering of their own -- and replay identically.
+        queue = EventQueue()
+        queue.schedule(5.0, {"first": True})
+        queue.schedule(5.0, {"second": True})
+        assert queue.pop()[1] == {"first": True}
+        assert queue.pop()[1] == {"second": True}
+
+    def test_len_and_bool(self):
+        queue = EventQueue()
+        assert not queue and len(queue) == 0
+        queue.schedule(0.0, "x")
+        assert queue and len(queue) == 1
+
+    def test_empty_pops_raise(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+        with pytest.raises(IndexError):
+            EventQueue().peek_when()
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -1.0])
+    def test_bad_timestamps_rejected(self, bad):
+        with pytest.raises(ValueError):
+            EventQueue().schedule(bad, "x")
 
 
 class TestFaultPlan:
@@ -244,6 +304,31 @@ class TestCircuitBreaker:
         assert breaker.state is BreakerState.OPEN
         assert not breaker.allow(now=20.0)  # cooldown restarted at t=11
         assert breaker.allow(now=21.0)
+
+    def test_half_open_admits_bounded_probes(self):
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_s=10.0, half_open_probes=2
+        )
+        breaker.record_failure(now=0.0)
+        assert breaker.allow(now=10.0)
+        assert breaker.allow(now=10.0)  # second probe fits the bound
+        assert not breaker.allow(now=10.0)  # third does not
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_recovery_after_repeated_cooldowns(self):
+        # A backend that stays down through several probe windows still
+        # closes the moment a probe finally succeeds.
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=10.0)
+        breaker.record_failure(now=0.0)
+        for when in (10.0, 21.0, 32.0):
+            assert breaker.allow(now=when)  # one probe per window
+            breaker.record_failure(now=when)
+            assert breaker.state is BreakerState.OPEN
+        assert breaker.allow(now=42.0)
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.consecutive_failures == 0
 
     def test_success_resets_failure_count(self):
         breaker = CircuitBreaker(failure_threshold=3, cooldown_s=1.0)

@@ -1,0 +1,386 @@
+"""Traffic layer: arrivals, admission, autoscaling, SLO accounting, the loop."""
+
+import pytest
+
+from repro.core.scenarios import Scenario
+from repro.traffic import (
+    AdmissionConfig,
+    AdmissionController,
+    ArrivalConfig,
+    AutoscalerConfig,
+    LatencySummary,
+    QueueDepthAutoscaler,
+    ScenarioPolicy,
+    TrafficConfig,
+    TrafficSimulator,
+    generate_arrivals,
+    generate_spikes,
+    percentile,
+    rate_at,
+)
+
+# ---------------------------------------------------------------------------
+# Arrivals
+# ---------------------------------------------------------------------------
+
+
+class TestArrivalConfig:
+    def test_shares_partition(self):
+        config = ArrivalConfig(upload_share=0.5, live_share=0.2)
+        assert config.vod_share == pytest.approx(0.3)
+        total = sum(
+            config.base_rate(s)
+            for s in (Scenario.UPLOAD, Scenario.LIVE, Scenario.VOD)
+        )
+        assert total == pytest.approx(config.rps)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"duration_s": 0},
+            {"duration_s": float("inf")},
+            {"rps": -0.1},
+            {"rps": float("nan")},
+            {"upload_share": 0.8, "live_share": 0.4},
+            {"upload_share": -0.1},
+            {"diurnal_amplitude": 1.0},
+            {"diurnal_period_s": 0},
+            {"spike_spacing_s": -1},
+            {"spike_multiplier": 0.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ArrivalConfig(**kwargs)
+
+
+class TestSpikes:
+    def test_spikes_are_seeded_and_within_window(self):
+        config = ArrivalConfig(duration_s=3600, spike_spacing_s=600,
+                               spike_duration_s=60)
+        spikes = generate_spikes(config, seed=5)
+        assert spikes == generate_spikes(config, seed=5)
+        assert spikes != generate_spikes(config, seed=6)
+        assert len(spikes) == 6  # one per slot
+        for spike in spikes:
+            assert 0 <= spike.start_s < spike.end_s <= config.duration_s
+
+    def test_zero_spacing_disables_spikes(self):
+        assert generate_spikes(ArrivalConfig(spike_spacing_s=0), seed=0) == []
+
+    def test_spike_multiplies_live_rate_only(self):
+        config = ArrivalConfig(diurnal_amplitude=0.0, spike_multiplier=10.0)
+        spikes = generate_spikes(config, seed=1)
+        inside = spikes[0].start_s
+        live_in = rate_at(config, Scenario.LIVE, inside, spikes)
+        live_base = config.base_rate(Scenario.LIVE)
+        assert live_in == pytest.approx(live_base * 10.0)
+        vod_in = rate_at(config, Scenario.VOD, inside, spikes)
+        assert vod_in == pytest.approx(config.base_rate(Scenario.VOD))
+
+
+class TestGenerateArrivals:
+    CONFIG = ArrivalConfig(duration_s=600.0, rps=1.0)
+
+    def test_deterministic_under_seed(self):
+        a = generate_arrivals(self.CONFIG, 10, seed=3)
+        b = generate_arrivals(self.CONFIG, 10, seed=3)
+        assert a == b
+        assert a != generate_arrivals(self.CONFIG, 10, seed=4)
+
+    def test_sorted_with_monotone_rids(self):
+        requests = generate_arrivals(self.CONFIG, 10, seed=3)
+        times = [r.arrival_s for r in requests]
+        assert times == sorted(times)
+        assert [r.rid for r in requests] == list(range(len(requests)))
+
+    def test_all_classes_present_with_valid_ranks(self):
+        requests = generate_arrivals(self.CONFIG, 10, seed=3)
+        seen = {r.scenario for r in requests}
+        assert seen == {Scenario.UPLOAD, Scenario.LIVE, Scenario.VOD}
+        assert all(1 <= r.rank <= 10 for r in requests)
+        assert all(0 <= r.arrival_s < self.CONFIG.duration_s for r in requests)
+
+    def test_diurnal_modulates_rate(self):
+        # A full sine period fits the window: the busy half-period must
+        # carry more arrivals than the quiet one.
+        config = ArrivalConfig(
+            duration_s=2000.0, rps=2.0, diurnal_amplitude=0.8,
+            diurnal_period_s=2000.0, spike_spacing_s=0,
+        )
+        requests = generate_arrivals(config, 10, seed=9)
+        first = sum(1 for r in requests if r.arrival_s < 1000.0)
+        second = len(requests) - first
+        assert first > second * 1.5
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(ValueError):
+            generate_arrivals(self.CONFIG, 0, seed=0)
+
+
+# ---------------------------------------------------------------------------
+# Admission
+# ---------------------------------------------------------------------------
+
+
+class TestAdmission:
+    def make(self, **live_kwargs):
+        live = ScenarioPolicy(max_depth=4, shed_on_deadline=True, **live_kwargs)
+        return AdmissionController(AdmissionConfig(live=live))
+
+    def test_admits_when_room(self):
+        decision = self.make().decide(
+            Scenario.LIVE, depth=0, expected_wait_s=0.0, deadline_slack_s=1.0
+        )
+        assert decision.admitted
+
+    def test_live_sheds_on_deadline(self):
+        decision = self.make().decide(
+            Scenario.LIVE, depth=1, expected_wait_s=2.0, deadline_slack_s=0.5
+        )
+        assert decision.verdict == "shed"
+        assert decision.reason == "deadline"
+
+    def test_live_sheds_on_full_queue(self):
+        decision = self.make().decide(
+            Scenario.LIVE, depth=4, expected_wait_s=0.0, deadline_slack_s=9.0
+        )
+        assert decision.verdict == "shed"
+        assert decision.reason == "queue-full"
+
+    def test_upload_backpressures_then_sheds(self):
+        controller = AdmissionController(AdmissionConfig(
+            upload=ScenarioPolicy(
+                max_depth=2, retry_on_full=True, max_retries=2,
+                retry_base_s=5.0, retry_multiplier=2.0,
+            )
+        ))
+        first = controller.decide(Scenario.UPLOAD, 2, 0.0, 0.0, attempt=1)
+        second = controller.decide(Scenario.UPLOAD, 2, 0.0, 0.0, attempt=2)
+        final = controller.decide(Scenario.UPLOAD, 2, 0.0, 0.0, attempt=3)
+        assert first.verdict == second.verdict == "retry"
+        assert first.retry_delay_s == pytest.approx(5.0)
+        assert second.retry_delay_s == pytest.approx(10.0)  # geometric
+        assert final.verdict == "shed"
+        assert final.reason == "retries-exhausted"
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            ScenarioPolicy(max_depth=0)
+        with pytest.raises(ValueError):
+            ScenarioPolicy(retry_base_s=float("inf"))
+        with pytest.raises(ValueError):
+            ScenarioPolicy(retry_multiplier=0.9)
+        with pytest.raises(ValueError):
+            self.make().decide(Scenario.LIVE, -1, 0.0, 0.0)
+
+
+# ---------------------------------------------------------------------------
+# Autoscaler
+# ---------------------------------------------------------------------------
+
+
+class TestAutoscaler:
+    CONFIG = AutoscalerConfig(
+        min_workers=0, max_workers=4, target_queue_per_worker=2,
+        poll_interval_s=5.0, scale_down_cooldown_s=20.0,
+    )
+
+    def test_desired_follows_queue_depth(self):
+        scaler = QueueDepthAutoscaler(self.CONFIG)
+        scaler.active = 1
+        assert scaler.desired(0) == 0
+        assert scaler.desired(1) == 1
+        assert scaler.desired(5) == 3
+        assert scaler.desired(100) == 4  # clamped at max
+
+    def test_scale_up_is_immediate(self):
+        scaler = QueueDepthAutoscaler(self.CONFIG)
+        event = scaler.evaluate(now=0.0, depth=3, busy=0)
+        assert event is not None
+        assert event.reason == "scale-from-zero"
+        assert scaler.active == 2
+        event = scaler.evaluate(now=5.0, depth=8, busy=2)
+        assert event.reason == "queue-depth"
+        assert scaler.active == 4
+
+    def test_scale_down_waits_out_cooldown(self):
+        scaler = QueueDepthAutoscaler(self.CONFIG)
+        scaler.evaluate(now=0.0, depth=8, busy=0)
+        assert scaler.active == 4
+        assert scaler.evaluate(now=5.0, depth=2, busy=1) is None  # countdown
+        assert scaler.evaluate(now=15.0, depth=2, busy=1) is None
+        event = scaler.evaluate(now=25.0, depth=2, busy=1)
+        assert event is not None and event.reason == "cooldown-expired"
+        assert scaler.active == 1
+
+    def test_busy_workers_block_scale_to_zero(self):
+        scaler = QueueDepthAutoscaler(self.CONFIG)
+        scaler.evaluate(now=0.0, depth=2, busy=0)
+        assert scaler.active == 1
+        for t in (5.0, 30.0, 60.0):
+            assert scaler.evaluate(now=t, depth=0, busy=1) is None
+        assert scaler.evaluate(now=65.0, depth=0, busy=0) is None  # countdown
+        event = scaler.evaluate(now=90.0, depth=0, busy=0)
+        assert event is not None and event.reason == "scale-to-zero"
+        assert scaler.active == 0
+
+    def test_activation_depth_gates_wakeup(self):
+        config = AutoscalerConfig(min_workers=0, max_workers=4,
+                                  activation_depth=3)
+        scaler = QueueDepthAutoscaler(config)
+        assert scaler.desired(2) == 0  # asleep, below activation
+        assert scaler.desired(3) >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AutoscalerConfig(min_workers=-1)
+        with pytest.raises(ValueError):
+            AutoscalerConfig(min_workers=5, max_workers=4)
+        with pytest.raises(ValueError):
+            AutoscalerConfig(poll_interval_s=0)
+        with pytest.raises(ValueError):
+            AutoscalerConfig(scale_down_cooldown_s=float("nan"))
+        with pytest.raises(ValueError):
+            QueueDepthAutoscaler(self.CONFIG).desired(-1)
+
+
+# ---------------------------------------------------------------------------
+# SLO accounting
+# ---------------------------------------------------------------------------
+
+
+class TestPercentiles:
+    def test_nearest_rank(self):
+        samples = [float(v) for v in range(1, 101)]
+        assert percentile(samples, 50) == 50.0
+        assert percentile(samples, 95) == 95.0
+        assert percentile(samples, 99) == 99.0
+        assert percentile(samples, 100) == 100.0
+        assert percentile(samples, 0) == 1.0
+
+    def test_empty_is_zero(self):
+        assert percentile([], 99) == 0.0
+        assert LatencySummary.from_samples([]).count == 0
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_summary_fields(self):
+        summary = LatencySummary.from_samples([3.0, 1.0, 2.0])
+        assert summary.count == 3
+        assert summary.p50_s == 2.0
+        assert summary.max_s == 3.0
+        assert summary.mean_s == pytest.approx(2.0)
+
+
+# ---------------------------------------------------------------------------
+# The simulator
+# ---------------------------------------------------------------------------
+
+#: Small-but-loaded config: short window, high rate, tiny fleet, fast
+#: cooldown -- enough pressure for shedding and scaling in a quick test.
+LOADED = TrafficConfig(
+    arrivals=ArrivalConfig(
+        duration_s=240.0, rps=1.2, spike_spacing_s=120.0,
+        spike_duration_s=30.0, spike_multiplier=30.0,
+    ),
+    autoscaler=AutoscalerConfig(
+        min_workers=0, max_workers=2, target_queue_per_worker=4,
+        poll_interval_s=5.0, scale_down_cooldown_s=30.0,
+    ),
+    catalog_size=6,
+)
+
+
+@pytest.fixture(scope="module")
+def loaded_report():
+    return TrafficSimulator(LOADED, seed=7).run()
+
+
+class TestSimulator:
+    def test_reports_are_byte_identical_under_seed(self, loaded_report):
+        again = TrafficSimulator(LOADED, seed=7).run()
+        assert again.to_text() == loaded_report.to_text()
+        assert again.to_json() == loaded_report.to_json()
+        assert again.digest() == loaded_report.digest()
+
+    def test_different_seed_changes_report(self, loaded_report):
+        other = TrafficSimulator(LOADED, seed=8).run()
+        assert other.digest() != loaded_report.digest()
+
+    def test_live_spikes_overload_bounded_workers(self, loaded_report):
+        live = loaded_report.scenarios["live"]
+        # The spike exceeds what two workers absorb: load was shed.
+        assert live.shed + live.timed_out > 0
+        assert loaded_report.shed_fraction > 0
+
+    def test_admitted_live_meets_slo(self, loaded_report):
+        # Shedding is what buys this: whatever was admitted finished
+        # within the real-time budget at p99.
+        live = loaded_report.scenarios["live"]
+        assert live.completed > 0
+        assert live.slo_violations == 0
+
+    def test_every_arrival_reaches_a_terminal_state(self, loaded_report):
+        for stats in loaded_report.scenarios.values():
+            assert (
+                stats.completed + stats.shed + stats.timed_out
+                + stats.dead_lettered
+            ) == stats.arrived
+
+    def test_autoscaler_scaled_up_and_back_down(self, loaded_report):
+        reasons = {e.reason for e in loaded_report.scale_events}
+        assert "scale-from-zero" in reasons
+        assert "scale-to-zero" in reasons
+        assert loaded_report.peak_workers >= 1
+        # The run drains: the last transition returns the fleet to floor.
+        assert loaded_report.scale_events[-1].to_workers == 0
+
+    def test_utilization_and_makespan(self, loaded_report):
+        assert 0 < loaded_report.utilization <= 1
+        assert loaded_report.makespan_s >= loaded_report.duration_s
+        assert loaded_report.busy_worker_s > 0
+
+    def test_rendering_is_complete(self, loaded_report):
+        text = loaded_report.to_text()
+        assert "SLOReport" in text
+        assert "upload:" in text and "live:" in text and "vod:" in text
+        assert "autoscaler events" in text
+        bench = loaded_report.bench_dict()
+        assert bench["digest"] == loaded_report.digest()
+        assert bench["metrics"]["shed_fraction"] > 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TrafficConfig(catalog_size=0)
+        with pytest.raises(ValueError):
+            TrafficConfig(time_scale=0.0)
+        with pytest.raises(ValueError):
+            TrafficConfig(clip_fps=float("inf"))
+
+
+class TestBackpressure:
+    def test_upload_retries_then_drains(self):
+        # One worker, a deep upload burst, and a queue bound of 3:
+        # uploads must hit backpressure, retry later, and still finish.
+        config = TrafficConfig(
+            arrivals=ArrivalConfig(
+                duration_s=60.0, rps=3.0, upload_share=1.0, live_share=0.0,
+                spike_spacing_s=0.0,
+            ),
+            admission=AdmissionConfig(
+                upload=ScenarioPolicy(
+                    max_depth=3, retry_on_full=True, max_retries=5,
+                    retry_base_s=10.0,
+                ),
+            ),
+            autoscaler=AutoscalerConfig(min_workers=1, max_workers=1),
+            catalog_size=4,
+        )
+        report = TrafficSimulator(config, seed=2).run()
+        upload = report.scenarios["upload"]
+        assert upload.backpressure_retries > 0
+        assert upload.completed > 0
+        assert upload.completed + upload.shed == upload.arrived
