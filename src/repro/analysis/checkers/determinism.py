@@ -2,9 +2,9 @@
 
 The benchmark's scoring contract (byte-identical parallel/cached reports,
 replayable chaos runs) only holds if the encode path is a pure function of
-its inputs.  Inside the deterministic packages (``repro.codec``,
-``repro.exec``, ``repro.fuzz``, ``repro.robust``, ``repro.traffic``)
-this rule bans:
+its inputs.  Inside the deterministic packages (``repro.bench``,
+``repro.codec``, ``repro.exec``, ``repro.fuzz``, ``repro.robust``,
+``repro.traffic``) this rule bans:
 
 * ``np.random.default_rng()`` called without a seed;
 * draws from the global ``random`` module (``random.random()``,
@@ -32,6 +32,7 @@ __all__ = ["DeterminismChecker"]
 
 #: Packages whose modules must be deterministic.
 DETERMINISTIC_PACKAGES = (
+    "repro.bench",
     "repro.codec",
     "repro.exec",
     "repro.fuzz",

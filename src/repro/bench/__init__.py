@@ -1,0 +1,15 @@
+"""Codec benchmark harness: structured, digest-fingerprinted perf runs."""
+
+from repro.bench.harness import (
+    BENCH_VERSION,
+    TIMING_METRICS,
+    BenchmarkResult,
+    run_codec_bench,
+)
+
+__all__ = [
+    "BENCH_VERSION",
+    "TIMING_METRICS",
+    "BenchmarkResult",
+    "run_codec_bench",
+]

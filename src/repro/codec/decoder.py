@@ -28,7 +28,7 @@ from repro.codec.deblock import deblock_plane
 from repro.codec.entropy_coding.bitio import BitReader
 from repro.codec.entropy_coding.cabac import CabacDecoder
 from repro.codec.entropy_coding.cavlc import decode_levels_cavlc
-from repro.codec.entropy_coding.expgolomb import read_se, read_ue
+from repro.codec.entropy_coding.expgolomb import read_ses, read_ues
 from repro.codec.errors import BitstreamError, CorruptPayload, HeaderError
 from repro.codec.instrumentation import Counters
 from repro.codec.motion import (
@@ -37,7 +37,7 @@ from repro.codec.motion import (
     motion_compensate_chroma,
     pad_reference,
 )
-from repro.codec.predict import FLAT_PREDICTOR, dc_predict
+from repro.codec.predict import FLAT_PREDICTOR, dc_predict_batch, wavefronts
 from repro.codec.quant import QP_MAX, QP_MIN, dequantize
 from repro.codec.transform import inverse_dct
 from repro.codec.types import MB_SIZE, BlockMode, FrameType
@@ -342,26 +342,33 @@ class Decoder:
         recon_u = np.empty((coded_h // 2, coded_w // 2))
         recon_v = np.empty_like(recon_u)
         flat = header.flat_quant
-        for i in range(n_mb):
-            y0, x0 = int(ys[i]), int(xs[i])
-            cy0, cx0 = y0 // 2, x0 // 2
-            dc = dc_predict(recon_y, y0, x0, MB_SIZE, counters)
-            levels = luma_levels[i * k2 : (i + 1) * k2]
-            rec = merge_blocks(
-                inverse_dct(dequantize(levels, qp, flat=flat)), MB_SIZE
-            )[0]
-            counters.add("idct", k2)
-            counters.add("dequant", k2)
-            recon_y[y0 : y0 + MB_SIZE, x0 : x0 + MB_SIZE] = np.clip(rec + dc, 0, 255)
-            for plane, levels_c in (
-                (recon_u, chroma_levels[i]),
-                (recon_v, chroma_levels[n_mb + i]),
-            ):
-                dcc = dc_predict(plane, cy0, cx0, MB_SIZE // 2, counters)
-                crec = inverse_dct(dequantize(levels_c[None], qp_c, flat=flat))[0]
-                counters.add("idct", 1)
-                counters.add("dequant", 1)
-                plane[cy0 : cy0 + 8, cx0 : cx0 + 8] = np.clip(crec + dcc, 0, 255)
+        # The coded residual is independent of the predictor, so dequant +
+        # IDCT run over the whole frame in one batch; only the DC add has
+        # the above/left recurrence, handled per anti-diagonal wavefront.
+        recs = merge_blocks(
+            inverse_dct(dequantize(luma_levels, qp, flat=flat)), MB_SIZE
+        )
+        counters.add("idct", n_mb * k2)
+        counters.add("dequant", n_mb * k2)
+        crecs = inverse_dct(dequantize(chroma_levels, qp_c, flat=flat))
+        counters.add("idct", 2 * n_mb)
+        counters.add("dequant", 2 * n_mb)
+        mb_off = np.arange(MB_SIZE)
+        c_off = np.arange(MB_SIZE // 2)
+        for idx in wavefronts(coded_h // MB_SIZE, coded_w // MB_SIZE):
+            ys_k, xs_k = ys[idx], xs[idx]
+            cys_k, cxs_k = cys[idx], cxs[idx]
+            dcs = dc_predict_batch(recon_y, ys_k, xs_k, MB_SIZE, counters)
+            recon_y[
+                ys_k[:, None, None] + mb_off[None, :, None],
+                xs_k[:, None, None] + mb_off[None, None, :],
+            ] = np.clip(recs[idx] + dcs[:, None, None], 0, 255)
+            for plane, base in ((recon_u, 0), (recon_v, n_mb)):
+                dccs = dc_predict_batch(plane, cys_k, cxs_k, MB_SIZE // 2, counters)
+                plane[
+                    cys_k[:, None, None] + c_off[None, :, None],
+                    cxs_k[:, None, None] + c_off[None, None, :],
+                ] = np.clip(crecs[base + idx] + dccs[:, None, None], 0, 255)
         return recon_y, recon_u, recon_v
 
     # -- P frames -----------------------------------------------------------------
@@ -370,16 +377,13 @@ class Decoder:
         self, reader, header, coded_h, coded_w, n_mb, ys, xs, cys, cxs,
         qp, qp_c, refs, counters,
     ):
-        modes = np.array([read_ue(reader) for _ in range(n_mb)], dtype=np.int64)
+        modes = read_ues(reader, n_mb)
         if np.any(modes > int(BlockMode.INTRA)):
             raise CorruptPayload("corrupt stream: invalid block mode")
         inter_idx = np.nonzero(modes == int(BlockMode.INTER))[0]
         mvs = np.zeros((n_mb, 2), dtype=np.int64)
         if inter_idx.size:
-            mvds = np.array(
-                [[read_se(reader), read_se(reader)] for _ in range(inter_idx.size)],
-                dtype=np.int64,
-            )
+            mvds = read_ses(reader, 2 * inter_idx.size).reshape(-1, 2)
             mvs[inter_idx] = np.cumsum(mvds, axis=0)
             # Sanity bound: no conforming encoder emits vectors beyond a
             # frame diagonal; a corrupt stream must not trigger a giant
@@ -389,15 +393,13 @@ class Decoder:
                 raise CorruptPayload("corrupt stream: motion vector out of range")
         ref_idx = np.zeros(n_mb, dtype=np.int64)
         if header.references == 2 and inter_idx.size:
-            ref_idx[inter_idx] = [reader.read_bit() for _ in range(inter_idx.size)]
+            ref_idx[inter_idx] = reader.read_bits(inter_idx.size)
 
         nonskip_idx = np.nonzero(modes != int(BlockMode.SKIP))[0]
         n_ns = nonskip_idx.size
         # Adaptive-transform flags: one bit per non-skip macroblock.
         if header.transform_size == 16 and n_ns:
-            use16 = np.array(
-                [reader.read_bit() for _ in range(n_ns)], dtype=bool
-            )
+            use16 = reader.read_bits(n_ns).astype(bool)
         else:
             use16 = np.zeros(n_ns, dtype=bool)
         n16 = int(use16.sum())

@@ -44,7 +44,12 @@ from repro.codec.motion import (
     motion_compensate_chroma,
     pad_reference,
 )
-from repro.codec.predict import FLAT_PREDICTOR, dc_predict, intra_cost
+from repro.codec.predict import (
+    FLAT_PREDICTOR,
+    dc_predict_batch,
+    intra_cost,
+    wavefronts,
+)
 from repro.codec.presets import EncoderConfig, preset
 from repro.codec.quant import (
     QP_MAX,
@@ -583,7 +588,15 @@ class _CodingState:
         cfg: EncoderConfig,
         counters: Counters,
     ) -> Tuple[np.ndarray, np.ndarray]:
-        """Sequential DC-predicted intra coding of the whole frame.
+        """Wavefront DC-predicted intra coding of the whole frame.
+
+        DC prediction makes block ``(r, c)`` depend on its reconstructed
+        above/left neighbours, so the frame cannot be coded as one batch --
+        but every block on an anti-diagonal is independent of the others.
+        Processing wavefront-by-wavefront batches the DCT/quant/RDOQ/
+        dequant/IDCT pipeline over whole diagonals while producing the
+        exact same predictors, levels and reconstruction as the old
+        per-macroblock loop (guarded by the golden-digest tests).
 
         Returns the (luma, chroma) level arrays in stream order and leaves
         the unfiltered reconstruction in ``recon_*``.
@@ -591,17 +604,21 @@ class _CodingState:
         recon_y = np.empty((self.coded_h, self.coded_w))
         recon_u = np.empty((self.coded_h // 2, self.coded_w // 2))
         recon_v = np.empty_like(recon_u)
-        luma_levels = []
-        chroma_levels_u = []
-        chroma_levels_v = []
-        for i in range(self.n_mb):
-            y0, x0 = int(self.ys[i]), int(self.xs[i])
-            cy0, cx0 = y0 // 2, x0 // 2
+        bpm = (MB_SIZE // tsize) ** 2  # transform blocks per macroblock
+        luma = np.zeros((self.n_mb * bpm, tsize, tsize), np.int32)
+        chroma = np.zeros((2 * self.n_mb, 8, 8), np.int32)
+        cur_blocks = to_blocks(self.cur_y, MB_SIZE)
+        cur_u_blocks = to_blocks(self.cur_u, MB_SIZE // 2)
+        cur_v_blocks = to_blocks(self.cur_v, MB_SIZE // 2)
+        mb_off = np.arange(MB_SIZE)
+        c_off = np.arange(MB_SIZE // 2)
+        for idx in wavefronts(self.coded_h // MB_SIZE, self.coded_w // MB_SIZE):
+            m = idx.size
+            ys_k, xs_k = self.ys[idx], self.xs[idx]
+            cys_k, cxs_k = ys_k // 2, xs_k // 2
             # Luma
-            dc = dc_predict(recon_y, y0, x0, MB_SIZE, counters)
-            block = self.cur_y[y0 : y0 + MB_SIZE, x0 : x0 + MB_SIZE]
-            residual = (block - dc)[None]
-            sub = split_blocks(residual, tsize)
+            dcs = dc_predict_batch(recon_y, ys_k, xs_k, MB_SIZE, counters)
+            sub = split_blocks(cur_blocks[idx] - dcs[:, None, None], tsize)
             coeffs = forward_dct(sub)
             levels = quantize(coeffs, qp, flat=cfg.flat_quant)
             if cfg.rdoq:
@@ -613,29 +630,32 @@ class _CodingState:
             counters.add("dequant", sub.shape[0])
             rec = merge_blocks(
                 inverse_dct(dequantize(levels, qp, flat=cfg.flat_quant)), MB_SIZE
-            )[0]
-            recon_y[y0 : y0 + MB_SIZE, x0 : x0 + MB_SIZE] = np.clip(rec + dc, 0, 255)
-            luma_levels.append(levels)
-            # Chroma (8x8 per plane per MB)
-            for plane, recon_c, out in (
-                (self.cur_u, recon_u, chroma_levels_u),
-                (self.cur_v, recon_v, chroma_levels_v),
+            )
+            recon_y[
+                ys_k[:, None, None] + mb_off[None, :, None],
+                xs_k[:, None, None] + mb_off[None, None, :],
+            ] = np.clip(rec + dcs[:, None, None], 0, 255)
+            luma[(idx[:, None] * bpm + np.arange(bpm)).ravel()] = levels
+            # Chroma (8x8 per plane per MB); stream order is all-U then all-V.
+            for plane_blocks, recon_c, out_base in (
+                (cur_u_blocks, recon_u, 0),
+                (cur_v_blocks, recon_v, self.n_mb),
             ):
-                dcc = dc_predict(recon_c, cy0, cx0, MB_SIZE // 2, counters)
-                cblock = plane[cy0 : cy0 + 8, cx0 : cx0 + 8]
-                ccoeffs = forward_dct((cblock - dcc)[None])
+                dccs = dc_predict_batch(recon_c, cys_k, cxs_k, MB_SIZE // 2, counters)
+                ccoeffs = forward_dct(plane_blocks[idx] - dccs[:, None, None])
                 clevels = quantize(ccoeffs, qp_c, flat=cfg.flat_quant)
-                counters.add("dct", 1)
-                counters.add("quant", 1)
-                counters.add("idct", 1)
-                counters.add("dequant", 1)
-                crec = inverse_dct(dequantize(clevels, qp_c, flat=cfg.flat_quant))[0]
-                recon_c[cy0 : cy0 + 8, cx0 : cx0 + 8] = np.clip(crec + dcc, 0, 255)
-                out.append(clevels)
-            counters.add("recon", 1)
+                counters.add("dct", m)
+                counters.add("quant", m)
+                counters.add("idct", m)
+                counters.add("dequant", m)
+                crec = inverse_dct(dequantize(clevels, qp_c, flat=cfg.flat_quant))
+                recon_c[
+                    cys_k[:, None, None] + c_off[None, :, None],
+                    cxs_k[:, None, None] + c_off[None, None, :],
+                ] = np.clip(crec + dccs[:, None, None], 0, 255)
+                chroma[out_base + idx] = clevels
+            counters.add("recon", m)
         self.recon_y, self.recon_u, self.recon_v = recon_y, recon_u, recon_v
-        luma = np.concatenate(luma_levels) if luma_levels else np.zeros((0, tsize, tsize), np.int32)
-        chroma = np.concatenate(chroma_levels_u + chroma_levels_v) if chroma_levels_u else np.zeros((0, 8, 8), np.int32)
         return luma, chroma
 
     # -- P-frame coding ---------------------------------------------------------

@@ -1,13 +1,16 @@
-"""Bit-granular I/O with vectorized packing.
+"""Bit-granular I/O with vectorized packing and unpacking.
 
 ``BitWriter`` buffers (value, length) pairs -- including whole numpy arrays
 of codewords at once -- and packs them into bytes in a single vectorized
-pass at the end.  This is what keeps the CAVLC path fast enough to entropy
-code thousands of blocks per frame in pure Python.
+pass at the end.  ``BitReader`` mirrors it with a vectorized scanner for
+the one self-delimiting code family the codec uses (Exp-Golomb), so both
+directions of the CAVLC path entropy code thousands of blocks per frame
+without a per-bit Python loop.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -78,6 +81,16 @@ class BitWriter:
         if bit not in (0, 1):
             raise ValueError(f"bit must be 0 or 1, got {bit}")
         self.write(bit, 1)
+
+    def write_bits(self, bits: np.ndarray) -> None:
+        """Append many single bits at once (mirror of
+        :meth:`BitReader.read_bits`)."""
+        bits = np.asarray(bits, dtype=np.int64)
+        if bits.ndim != 1:
+            raise ValueError("bits must be a 1-D array")
+        if np.any((bits < 0) | (bits > 1)):
+            raise ValueError("bits must be 0 or 1")
+        self.write_array(bits, np.ones(bits.size, dtype=np.int64))
 
     def write_array(self, values: np.ndarray, lengths: np.ndarray) -> None:
         """Append many codewords at once (the vectorized fast path)."""
@@ -159,6 +172,29 @@ class BitReader:
         self._pos += 1
         return bit
 
+    def read_bits(self, count: int) -> np.ndarray:
+        """Read ``count`` single bits as a 0/1 array (vectorized
+        :meth:`read_bit`)."""
+        if count < 0:
+            raise TypeError(f"count must be non-negative, got {count}")
+        if self._pos + count > self._bits.size:
+            raise TruncatedStream("bitstream exhausted")
+        out = self._bits[self._pos : self._pos + count].astype(np.int64)
+        self._pos += count
+        return out
+
+    def seek(self, bit_position: int) -> None:
+        """Set the absolute bit position.
+
+        Used to rewind after a speculative batch decode consumed more
+        codewords than the caller's parse actually needed.
+        """
+        if bit_position < 0 or bit_position > self._bits.size:
+            raise TypeError(
+                f"bit position {bit_position} outside [0, {self._bits.size}]"
+            )
+        self._pos = int(bit_position)
+
     def read_array(self, lengths: np.ndarray) -> np.ndarray:
         """Read one codeword per entry of ``lengths`` (mirror of
         :meth:`BitWriter.write_array`; the caller supplies the bit lengths,
@@ -196,6 +232,80 @@ class BitReader:
         zeros = int(nz[0])
         self._pos += zeros
         return zeros
+
+    def scan_ue_array(
+        self, count: int, limit: int
+    ) -> Tuple[np.ndarray, Optional[Exception]]:
+        """Decode up to ``count`` Exp-Golomb codewords (vectorized).
+
+        The codewords are self-delimiting (``z`` zeros, a 1, then ``z``
+        value bits), so only the boundary recurrence is sequential -- and
+        each step is O(log n) via bisection into a precomputed index of
+        one-bit positions.  The value bits of every decoded codeword are
+        then extracted in one vectorized pass.
+
+        Returns ``(values, error)``: the values of the fully decoded
+        codewords (consumed from the stream; the position is left after
+        the last good codeword) and the exception the per-symbol reader
+        (:meth:`count_zeros` with ``limit`` + :meth:`read`) would raise at
+        the first failed codeword, or None.  Deferring the error lets a
+        caller decode speculatively and only raise if its parse actually
+        reaches the failed symbol.
+        """
+        if count < 0:
+            raise TypeError(f"count must be non-negative, got {count}")
+        if limit < 0:
+            raise TypeError(f"limit must be non-negative, got {limit}")
+        bits = self._bits
+        size = bits.size
+        start = self._pos
+        # A codeword spans at most 2*limit + 1 bits and a failing prefix
+        # scan examines at most limit + 1 more, so this window covers
+        # every bit any of the `count` decodes can touch.
+        window = bits[start : start + count * (2 * limit + 1) + limit + 1]
+        ones = np.flatnonzero(window).tolist()
+        zeros = np.empty(count, dtype=np.int64)
+        one_pos = np.empty(count, dtype=np.int64)
+        cur = 0
+        j = 0
+        error: Optional[Exception] = None
+        n_ok = 0
+        for _ in range(count):
+            avail = size - start - cur
+            if avail <= 0:
+                error = TruncatedStream("bitstream exhausted")
+                break
+            j = bisect_left(ones, cur, j)
+            if j == len(ones) or ones[j] - cur > limit:
+                if avail >= limit + 1:
+                    error = CorruptPayload(
+                        f"zero run exceeds {limit} bits (runaway Exp-Golomb prefix)"
+                    )
+                else:
+                    error = TruncatedStream("no terminating 1 bit found")
+                break
+            z = ones[j] - cur
+            if start + cur + 2 * z + 1 > size:
+                error = TruncatedStream(
+                    f"bitstream exhausted: wanted {z + 1} bits, "
+                    f"have {size - start - ones[j]}"
+                )
+                break
+            zeros[n_ok] = z
+            one_pos[n_ok] = ones[j]
+            cur += 2 * z + 1
+            n_ok += 1
+        self._pos = start + cur
+        if n_ok == 0:
+            return np.zeros(0, dtype=np.int64), error
+        lens = zeros[:n_ok] + 1
+        seg = np.cumsum(lens) - lens
+        total = int(lens.sum())
+        offs = np.arange(total, dtype=np.int64) - np.repeat(seg, lens)
+        bitvals = window[np.repeat(one_pos[:n_ok], lens) + offs].astype(np.int64)
+        shifts = np.repeat(lens, lens) - 1 - offs
+        values = np.add.reduceat(bitvals << shifts, seg) - 1
+        return values, error
 
     def align(self) -> None:
         """Skip to the next byte boundary."""

@@ -221,7 +221,10 @@ class CabacDecoder:
     ) -> np.ndarray:
         """Decode ``n_blocks`` blocks of ``size x size`` levels."""
         if n_blocks < 0:
-            raise TypeError(f"block count must be non-negative, got {n_blocks}")
+            # Stream-derived, like the CAVLC side: corrupt, not a TypeError.
+            raise CorruptPayload(
+                f"block count must be non-negative, got {n_blocks}"
+            )
         scan = zigzag_order(size)
         ctx = self.contexts
         plane = 1 if chroma else 0

@@ -10,14 +10,14 @@ call -- which is what makes the fast presets fast.
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.codec.entropy_coding.bitio import BitReader, BitWriter
-from repro.codec.errors import CorruptPayload
+from repro.codec.errors import CorruptPayload, raise_deferred
 from repro.codec.entropy_coding.expgolomb import (
-    read_se,
-    read_ue,
+    MAX_UE_ZEROS,
     se_codes,
     ue_codes,
 )
@@ -86,27 +86,155 @@ def encode_levels_cavlc(writer: BitWriter, levels: np.ndarray) -> int:
     return out_total
 
 
+#: Symbols decoded per speculative batch while parsing the residual section.
+_CHUNK = 256
+
+
+def _block_positions(
+    syms_arr: np.ndarray, starts: np.ndarray, run_counts: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-coefficient ``(block, run_symbol_index, scan_position)`` arrays.
+
+    ``starts[i]`` is the symbol index of block ``i``'s first run code and
+    ``run_counts[i]`` how many of its run codes are available; positions
+    are the per-block cumulative ``run + 1`` walk of the scalar decoder,
+    computed with a segmented cumsum.
+    """
+    total = int(run_counts.sum())
+    blk = np.repeat(np.arange(starts.size), run_counts)
+    seg = np.cumsum(run_counts) - run_counts
+    rank = np.arange(total) - np.repeat(seg, run_counts)
+    run_idx = starts[blk] + 2 * rank
+    runs = syms_arr[run_idx]
+    cum = np.cumsum(runs + 1)
+    seg_c = np.minimum(seg, max(total - 1, 0))
+    before = cum[seg_c] - (runs[seg_c] + 1)
+    pos = cum - np.repeat(before, run_counts) - 1
+    return blk, run_idx, pos
+
+
+def _earliest_coeff_error(
+    syms_arr: np.ndarray, starts: np.ndarray, caps: np.ndarray, max_pos: int
+) -> Optional[Tuple[int, CorruptPayload]]:
+    """First run/level violation over the decoded symbols, in stream order.
+
+    ``caps[i]`` is how many coefficient symbols of block ``i`` were decoded
+    (``2 * nnz`` for complete blocks, fewer for a truncated tail block).
+    Returns ``(symbol_index, exception)`` of the earliest violation, or
+    None -- used to arbitrate against a deferred stream error so the batch
+    decoder raises exactly what the symbol-at-a-time decoder would have.
+    """
+    if starts.size == 0:
+        return None
+    run_counts = (caps + 1) // 2
+    if not run_counts.sum():
+        return None
+    blk, run_idx, pos = _block_positions(syms_arr, starts, run_counts)
+    rank = run_idx - starts[blk]
+    bad_run = pos >= max_pos
+    has_level = rank // 2 < (caps // 2)[blk]
+    level_idx = np.where(has_level, run_idx + 1, 0)
+    bad_level = has_level & (syms_arr[level_idx] == 0)
+    best: Optional[Tuple[int, int, str]] = None
+    if bad_run.any():
+        k = int(np.argmax(bad_run))
+        best = (int(run_idx[k]), int(blk[k]), "run")
+    if bad_level.any():
+        k = int(np.argmax(bad_level))
+        if best is None or int(run_idx[k]) + 1 < best[0]:
+            best = (int(run_idx[k]) + 1, int(blk[k]), "level")
+    if best is None:
+        return None
+    index, block, kind = best
+    if kind == "run":
+        return index, CorruptPayload(f"corrupt stream: run overflows block {block}")
+    return index, CorruptPayload(f"corrupt stream: zero level in block {block}")
+
+
 def decode_levels_cavlc(
     reader: BitReader, n_blocks: int, size: int
 ) -> np.ndarray:
-    """Decode ``n_blocks`` blocks of ``size x size`` quantized levels."""
+    """Decode ``n_blocks`` blocks of ``size x size`` quantized levels.
+
+    The residual section is one homogeneous sequence of Exp-Golomb
+    codewords (nnz, then run/level pairs, per block), so symbols are
+    decoded speculatively in vectorized chunks and the block structure is
+    parsed over the decoded values; the reader is rewound to the exact end
+    of the last symbol the symbol-at-a-time parser would have consumed.
+    Errors -- stream damage and semantic violations alike -- are raised
+    with the same type and message, for the earliest offending symbol in
+    stream order, exactly as the scalar loop raised them.
+    """
     if n_blocks < 0:
-        raise TypeError(f"block count must be non-negative, got {n_blocks}")
+        # The count is derived from stream-read headers, so a negative
+        # value is stream damage, not a caller bug: it must flow through
+        # the BitstreamError taxonomy into strict=False concealment.
+        raise CorruptPayload(f"block count must be non-negative, got {n_blocks}")
     scan = zigzag_order(size)
-    out = np.zeros((n_blocks, size * size), dtype=np.int32)
     max_pos = size * size
+    out = np.zeros((n_blocks, max_pos), dtype=np.int32)
+    if n_blocks == 0:
+        return out.reshape(n_blocks, size, size)
+
+    chain_start = reader.position
+    syms: list = []
+    deferred: Optional[Exception] = None
+
+    def _ensure(n: int) -> int:
+        nonlocal deferred
+        while len(syms) < n and deferred is None:
+            values, deferred = reader.scan_ue_array(
+                max(_CHUNK, n - len(syms)), MAX_UE_ZEROS
+            )
+            syms.extend(values.tolist())
+        return len(syms)
+
+    starts_l: list = []  # symbol index of each block's first run code
+    nnz_l: list = []
+    caps_l: list = []  # coefficient symbols actually available per block
+    pending: Optional[Exception] = None
+    pending_idx = 0
+    ptr = 0
     for b in range(n_blocks):
-        nnz = read_ue(reader)
+        if _ensure(ptr + 1) < ptr + 1:
+            pending, pending_idx = deferred, len(syms)
+            break
+        nnz = syms[ptr]
+        ptr += 1
         if nnz > max_pos:
-            raise CorruptPayload(f"corrupt stream: {nnz} coefficients in block {b}")
-        pos = -1
-        for _ in range(nnz):
-            run = read_ue(reader)
-            pos += run + 1
-            if pos >= max_pos:
-                raise CorruptPayload(f"corrupt stream: run overflows block {b}")
-            level = read_se(reader)
-            if level == 0:
-                raise CorruptPayload(f"corrupt stream: zero level in block {b}")
-            out[b, scan[pos]] = level
+            pending = CorruptPayload(
+                f"corrupt stream: {nnz} coefficients in block {b}"
+            )
+            pending_idx = ptr - 1
+            break
+        starts_l.append(ptr)
+        nnz_l.append(nnz)
+        have = min(_ensure(ptr + 2 * nnz), ptr + 2 * nnz) - ptr
+        caps_l.append(have)
+        if have < 2 * nnz:
+            pending, pending_idx = deferred, len(syms)
+            break
+        ptr += 2 * nnz
+
+    syms_arr = np.array(syms, dtype=np.int64)
+    starts = np.array(starts_l, dtype=np.int64)
+    caps = np.array(caps_l, dtype=np.int64)
+    coeff_error = _earliest_coeff_error(syms_arr, starts, caps, max_pos)
+    if coeff_error is not None and (pending is None or coeff_error[0] < pending_idx):
+        raise_deferred(coeff_error[1])
+    if pending is not None:
+        raise_deferred(pending)
+
+    # All blocks parsed clean: scatter the levels and rewind the reader to
+    # the end of the last consumed symbol (codeword lengths follow from
+    # the values, since the code is self-delimiting).
+    nnzs = np.array(nnz_l, dtype=np.int64)
+    if nnzs.sum():
+        blk, run_idx, pos = _block_positions(syms_arr, starts, nnzs)
+        index = syms_arr[run_idx + 1]
+        out[blk, scan[pos]] = np.where(index % 2, (index + 1) // 2, -(index // 2))
+    if ptr < len(syms):
+        used = syms_arr[:ptr] + 1
+        nbits = np.frexp(used.astype(np.float64))[1].astype(np.int64)
+        reader.seek(chain_start + int((2 * nbits - 1).sum()))
     return out.reshape(n_blocks, size, size)

@@ -14,6 +14,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.codec.entropy_coding.bitio import BitReader, BitWriter
+from repro.codec.errors import raise_deferred
 
 __all__ = [
     "MAX_UE_ZEROS",
@@ -25,6 +26,10 @@ __all__ = [
     "write_se",
     "read_ue",
     "read_se",
+    "read_ues",
+    "read_ses",
+    "write_ues",
+    "write_ses",
     "signed_to_unsigned",
     "unsigned_to_signed",
 ]
@@ -106,3 +111,30 @@ def read_ue(reader: BitReader) -> int:
 def read_se(reader: BitReader) -> int:
     """Read one signed Exp-Golomb code."""
     return unsigned_to_signed(read_ue(reader))
+
+
+def read_ues(reader: BitReader, count: int) -> np.ndarray:
+    """Read ``count`` unsigned Exp-Golomb codes (vectorized
+    :func:`read_ue`; identical values and error behaviour)."""
+    values, error = reader.scan_ue_array(count, MAX_UE_ZEROS)
+    if error is not None:
+        raise_deferred(error)
+    return values
+
+
+def read_ses(reader: BitReader, count: int) -> np.ndarray:
+    """Read ``count`` signed Exp-Golomb codes (vectorized :func:`read_se`)."""
+    index = read_ues(reader, count)
+    return np.where(index % 2, (index + 1) // 2, -(index // 2))
+
+
+def write_ues(writer: BitWriter, values: np.ndarray) -> None:
+    """Write many unsigned Exp-Golomb codes (vectorized :func:`write_ue`)."""
+    codes, lengths = ue_codes(values)
+    writer.write_array(codes, lengths)
+
+
+def write_ses(writer: BitWriter, values: np.ndarray) -> None:
+    """Write many signed Exp-Golomb codes (vectorized :func:`write_se`)."""
+    codes, lengths = se_codes(values)
+    writer.write_array(codes, lengths)

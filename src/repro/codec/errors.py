@@ -19,6 +19,7 @@ __all__ = [
     "TruncatedStream",
     "CorruptPayload",
     "HeaderError",
+    "raise_deferred",
 ]
 
 
@@ -37,3 +38,19 @@ class CorruptPayload(BitstreamError):
 class HeaderError(BitstreamError):
     """The stream header is foreign, unsupported, or describes impossible
     geometry."""
+
+
+def raise_deferred(error: Exception) -> None:
+    """Raise a deferred bitstream error.
+
+    Speculative batch decoders (see ``BitReader.scan_ue_array``) capture
+    the error the symbol-at-a-time path would have raised and surface it
+    only if the parse actually reaches the failed symbol.  Funnelling the
+    re-raise through here enforces at runtime what VL006 checks statically
+    on decode paths: only taxonomy errors may flow through deferral.
+    """
+    if not isinstance(error, BitstreamError):
+        raise TypeError(
+            f"deferred error must be a BitstreamError, got {type(error).__name__}"
+        )
+    raise error

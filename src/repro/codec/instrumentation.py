@@ -64,6 +64,16 @@ class Counters:
 
     A thin mapping wrapper with arithmetic conveniences; values are floats
     so vectorized call sites can add fractional or very large counts.
+
+    Semantics: a count is the number of kernel invocations the codec
+    *actually performed*, not the number a naive implementation would have
+    performed.  In particular ``"sad"`` counts one unit per (block,
+    candidate) SAD reduction evaluated -- the log search skips candidates
+    that clip back onto a block's current best vector, and those skipped
+    evaluations are (correctly) not counted.  This keeps the Figure 7/8
+    cycle attribution consistent: modeled cycles reflect work done, and an
+    algorithmic improvement that avoids work shows up as fewer counted
+    units, exactly as it would in a profiled native encoder.
     """
 
     def __init__(self) -> None:

@@ -221,13 +221,24 @@ def estimate_motion(
 
 
 def _full_search(cur_blocks, padded, ys, xs, pad, bs, srange, best_mvs, best_sads, counters):
-    """Exhaustive integer search over the full +/- srange window."""
+    """Exhaustive integer search over the full +/- srange window.
+
+    Each block's whole search window (``2*srange + bs`` square) is gathered
+    from the padded reference once up front; the candidate block at every
+    displacement is then a constant-stride slice view into that window.
+    This replaces ``(2*srange + 1)**2 - 1`` fancy-indexed gathers with one,
+    leaving only the SAD reductions per offset.  Candidate pixel values are
+    the same either way, so SADs -- and the bitstream -- are bit-identical.
+    """
     n = cur_blocks.shape[0]
+    span = 2 * srange + bs
+    windows = _gather_windows(padded, ys + pad - srange, xs + pad - srange, span, span)
     for dy in range(-srange, srange + 1):
         for dx in range(-srange, srange + 1):
             if dy == 0 and dx == 0:
                 continue
-            cand = _gather_windows(padded, ys + pad + dy, xs + pad + dx, bs, bs)
+            r0, c0 = dy + srange, dx + srange
+            cand = windows[:, r0 : r0 + bs, c0 : c0 + bs]
             sads = _sad(cur_blocks, cand)
             counters.add("sad", n)
             better = sads < best_sads
@@ -243,8 +254,15 @@ def _log_search(cur_blocks, padded, ys, xs, pad, bs, srange, max_iters, best_mvs
     vector are evaluated; blocks keep moving while they improve.  The step
     then halves.  Classic logarithmic search: ~8 * iters * log2(range) SADs
     per block instead of ``(2 * range + 1)**2``.
+
+    Only blocks whose clipped candidate actually differs from their current
+    best vector are gathered and reduced -- a candidate clipped back onto
+    the block's own position can never win (``sads < best_sads`` is strict),
+    so evaluating it is pure waste.  As the field converges, the changed
+    subset shrinks toward the few still-moving blocks.  The ``"sad"``
+    counter records evaluations *performed*, so it shrinks with the subset;
+    see the counter-semantics note in :mod:`repro.codec.instrumentation`.
     """
-    n = cur_blocks.shape[0]
     offsets8 = np.array(
         [(-1, -1), (-1, 0), (-1, 1), (0, -1), (0, 1), (1, -1), (1, 0), (1, 1)],
         dtype=np.int64,
@@ -255,18 +273,19 @@ def _log_search(cur_blocks, padded, ys, xs, pad, bs, srange, max_iters, best_mvs
             moved = False
             for off in offsets8 * step:
                 cand = np.clip(best_mvs + off, -srange, srange)
-                changed = np.any(cand != best_mvs, axis=1)
-                if not changed.any():
+                idx = np.nonzero(np.any(cand != best_mvs, axis=1))[0]
+                if not idx.size:
                     continue
                 blocks_ref = _gather_windows(
-                    padded, ys + pad + cand[:, 0], xs + pad + cand[:, 1], bs, bs
+                    padded, ys[idx] + pad + cand[idx, 0], xs[idx] + pad + cand[idx, 1], bs, bs
                 )
-                sads = _sad(cur_blocks, blocks_ref)
-                counters.add("sad", n)
-                better = (sads < best_sads) & changed
+                sads = _sad(cur_blocks[idx], blocks_ref)
+                counters.add("sad", idx.size)
+                better = sads < best_sads[idx]
                 if better.any():
-                    best_sads[better] = sads[better]
-                    best_mvs[better] = cand[better]
+                    sel = idx[better]
+                    best_sads[sel] = sads[better]
+                    best_mvs[sel] = cand[sel]
                     moved = True
             if not moved:
                 break

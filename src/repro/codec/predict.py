@@ -10,13 +10,19 @@ P-frame pipeline stays free of raster-order data dependences.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
 from repro.codec.instrumentation import Counters
 
-__all__ = ["dc_predict", "FLAT_PREDICTOR", "intra_cost"]
+__all__ = [
+    "dc_predict",
+    "dc_predict_batch",
+    "wavefronts",
+    "FLAT_PREDICTOR",
+    "intra_cost",
+]
 
 #: The flat predictor value for P-frame intra fallback blocks (mid grey).
 FLAT_PREDICTOR = 128.0
@@ -46,6 +52,65 @@ def dc_predict(
     if not samples:
         return FLAT_PREDICTOR
     return float(np.mean(np.concatenate(samples)))
+
+
+def dc_predict_batch(
+    recon: np.ndarray,
+    ys: np.ndarray,
+    xs: np.ndarray,
+    size: int,
+    counters: Optional[Counters] = None,
+) -> np.ndarray:
+    """DC prediction values for a batch of mutually independent blocks.
+
+    Bit-identical to calling :func:`dc_predict` per block: each block's
+    samples are laid out in the same ``[above row | left column]`` order
+    and reduced with the same contiguous-axis mean, so the predictor --
+    and therefore the bitstream -- does not change.  The caller must
+    guarantee independence: no block's neighbour samples may lie inside
+    another block of the same batch.  One anti-diagonal wavefront of a
+    frame (see :func:`wavefronts`) satisfies this, because block ``(r, c)``
+    reads only from rows finished by blocks ``(r-1, c)`` and ``(r, c-1)``.
+    """
+    ys = np.asarray(ys, dtype=np.int64)
+    xs = np.asarray(xs, dtype=np.int64)
+    n = ys.size
+    out = np.full(n, FLAT_PREDICTOR, dtype=np.float64)
+    if counters is not None:
+        counters.add("intra_pred", n)
+    offs = np.arange(size)
+    have_above = ys > 0
+    have_left = xs > 0
+    both = np.nonzero(have_above & have_left)[0]
+    if both.size:
+        above = recon[ys[both, None] - 1, xs[both, None] + offs]
+        left = recon[ys[both, None] + offs, xs[both, None] - 1]
+        out[both] = np.concatenate([above, left], axis=1).mean(axis=1)
+    above_only = np.nonzero(have_above & ~have_left)[0]
+    if above_only.size:
+        out[above_only] = recon[
+            ys[above_only, None] - 1, xs[above_only, None] + offs
+        ].mean(axis=1)
+    left_only = np.nonzero(~have_above & have_left)[0]
+    if left_only.size:
+        out[left_only] = recon[
+            ys[left_only, None] + offs, xs[left_only, None] - 1
+        ].mean(axis=1)
+    return out
+
+
+def wavefronts(rows: int, cols: int) -> List[np.ndarray]:
+    """Anti-diagonal groups of raster-order block indices.
+
+    Within one group every block is independent of the others under DC
+    prediction, so a whole group can be predicted, transformed and
+    reconstructed as a single batch; groups must be processed in order.
+    """
+    out = []
+    for k in range(rows + cols - 1):
+        r = np.arange(max(0, k - cols + 1), min(k, rows - 1) + 1)
+        out.append(r * cols + (k - r))
+    return out
 
 
 def intra_cost(blocks: np.ndarray) -> np.ndarray:

@@ -3,6 +3,13 @@
 Speed is normalized like bitrate: frames per second of transcoding
 multiplied by pixels per frame, i.e. pixels transcoded per second.  The
 paper reports Mpixel/s.
+
+Contract for degenerate inputs: a clip with **zero pixels** (an empty or
+zero-frame video) transcodes nothing, so its speed is defined as ``0.0``
+rather than an error -- the bench harness must be able to report a run
+over any clip the corpus can produce.  A *negative* pixel count and a
+non-positive duration remain errors: they can only come from a
+caller bug, never from a measured run.
 """
 
 from __future__ import annotations
@@ -11,11 +18,13 @@ __all__ = ["pixels_per_second", "megapixels_per_second"]
 
 
 def pixels_per_second(total_pixels: int, transcode_seconds: float) -> float:
-    """Pixels transcoded per second of compute time."""
-    if total_pixels <= 0:
-        raise ValueError(f"pixel count must be positive, got {total_pixels}")
+    """Pixels transcoded per second of compute time (0.0 for empty clips)."""
+    if total_pixels < 0:
+        raise ValueError(f"pixel count must be non-negative, got {total_pixels}")
     if transcode_seconds <= 0:
         raise ValueError(f"transcode time must be positive, got {transcode_seconds}")
+    if total_pixels == 0:
+        return 0.0
     return total_pixels / transcode_seconds
 
 

@@ -1,0 +1,168 @@
+"""The codec benchmark harness: structure, determinism, and the baseline."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench import (
+    BENCH_VERSION,
+    TIMING_METRICS,
+    BenchmarkResult,
+    run_codec_bench,
+)
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: One cheap configuration shared by the harness tests.
+FAST = dict(
+    preset="ultrafast",
+    content="natural",
+    width=64,
+    height=48,
+    frames=4,
+    fps=12.0,
+    crf=30,
+    seed=5,
+)
+
+
+class TestBenchmarkResult:
+    def make(self, **metrics):
+        return BenchmarkResult(
+            name="codec-test",
+            parameters={"preset": "fast", "seed": 1, "repeats": 3},
+            metrics=metrics,
+        )
+
+    def test_digest_ignores_timing_metrics(self):
+        a = self.make(bitstream_bytes=100, encode_ms_median=12.0)
+        b = self.make(bitstream_bytes=100, encode_ms_median=99.0)
+        assert a.digest() == b.digest()
+
+    def test_digest_ignores_repeats(self):
+        a = self.make(bitstream_bytes=100)
+        b = self.make(bitstream_bytes=100)
+        b.parameters["repeats"] = 7
+        assert a.digest() == b.digest()
+
+    def test_digest_tracks_deterministic_fields(self):
+        a = self.make(bitstream_bytes=100)
+        b = self.make(bitstream_bytes=101)
+        assert a.digest() != b.digest()
+
+    def test_deterministic_record_omits_timing(self):
+        record = self.make(
+            bitstream_bytes=100, encode_ms_median=12.0
+        ).bench_dict(deterministic=True)
+        assert "encode_ms_median" not in record["metrics"]
+        assert "repeats" not in record["parameters"]
+        assert record["digest"]
+        assert record["version"] == BENCH_VERSION
+
+    def test_full_record_keeps_everything(self):
+        record = self.make(
+            bitstream_bytes=100, encode_ms_median=12.0
+        ).bench_dict()
+        assert record["metrics"]["encode_ms_median"] == 12.0
+        assert record["parameters"]["repeats"] == 3
+        # Same digest either way: it never covers the timing fields.
+        assert record["digest"] == self.make(
+            bitstream_bytes=100, encode_ms_median=12.0
+        ).bench_dict(deterministic=True)["digest"]
+
+
+class TestRunCodecBench:
+    def test_reports_all_metrics(self):
+        result = run_codec_bench(repeats=1, **FAST)
+        assert result.name == "codec-ultrafast"
+        assert result.version == BENCH_VERSION
+        for key in TIMING_METRICS:
+            assert result.metrics[key] > 0
+        assert result.metrics["bitstream_bytes"] > 0
+        assert len(result.metrics["bitstream_sha256"]) == 64
+        assert result.metrics["psnr_db"] > 20
+
+    def test_deterministic_subset_is_repeat_invariant(self):
+        one = run_codec_bench(repeats=1, **FAST)
+        two = run_codec_bench(repeats=2, **FAST)
+        assert one.deterministic_dict() == two.deterministic_dict()
+        assert one.digest() == two.digest()
+
+    def test_collects_raw_timings(self):
+        timings = {}
+        run_codec_bench(repeats=2, timings=timings, **FAST)
+        assert len(timings["encode"]) == 2
+        assert len(timings["decode"]) == 2
+        assert all(t > 0 for t in timings["encode"] + timings["decode"])
+
+    def test_rejects_bad_repeats_and_frames(self):
+        with pytest.raises(ValueError):
+            run_codec_bench(repeats=0, **FAST)
+        bad = dict(FAST, frames=0)
+        with pytest.raises(ValueError):
+            run_codec_bench(repeats=1, **bad)
+
+
+class TestBenchCli:
+    ARGS = ["bench", "--preset", "ultrafast", "--size", "64x48",
+            "--frames", "4", "--fps", "12", "--crf", "30", "--seed", "5",
+            "--repeats", "1"]
+
+    def test_text_report(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "codec-ultrafast" in out
+        assert "encode_mpixel_s" in out
+        assert "digest" in out
+
+    def test_deterministic_json_is_byte_identical(self, capsys):
+        assert main(self.ARGS + ["--json", "--deterministic"]) == 0
+        first = capsys.readouterr().out
+        assert main(self.ARGS + ["--json", "--deterministic"]) == 0
+        assert capsys.readouterr().out == first
+        record = json.loads(first)
+        assert not TIMING_METRICS & set(record["metrics"])
+
+    def test_bench_record_written(self, tmp_path, capsys):
+        bench = tmp_path / "BENCH_codec.json"
+        assert main(self.ARGS + ["--json", "--bench-out", str(bench)]) == 0
+        captured = capsys.readouterr()
+        assert "wrote" in captured.err  # diagnostics stay off stdout
+        record = json.loads(bench.read_text())
+        report = json.loads(captured.out)
+        assert record["name"] == "codec-ultrafast"
+        assert record["digest"] == report["digest"]
+        # The stdout report keeps timings; the record on disk never does.
+        assert TIMING_METRICS & set(report["metrics"])
+        assert not TIMING_METRICS & set(record["metrics"])
+
+    def test_bad_size_exits_2(self, capsys):
+        assert main(["bench", "--size", "nope"]) == 2
+        assert "WxH" in capsys.readouterr().err
+
+
+class TestCommittedBaseline:
+    def test_baseline_matches_a_fresh_run(self):
+        """BENCH_codec.json tracks the codec's actual deterministic output.
+
+        The digest excludes timings and the repeat count, so one repeat
+        reproduces it exactly; a mismatch means a PR changed the
+        bitstream without regenerating the baseline.
+        """
+        baseline = json.loads((REPO_ROOT / "BENCH_codec.json").read_text())
+        params = baseline["parameters"]
+        result = run_codec_bench(
+            preset=params["preset"],
+            content=params["content"],
+            width=params["width"],
+            height=params["height"],
+            frames=params["frames"],
+            fps=params["fps"],
+            crf=params["crf"],
+            seed=params["seed"],
+            repeats=1,
+        )
+        assert result.digest() == baseline["digest"]
+        assert result.bench_dict(deterministic=True) == baseline

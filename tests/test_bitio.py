@@ -160,3 +160,94 @@ class TestRoundTrip:
         reader = BitReader(writer.getvalue())
         for v, n in zip(values.tolist(), lengths.tolist()):
             assert reader.read(n) == v
+
+
+class TestVectorizedReads:
+    def test_read_bits_matches_read_bit(self, rng):
+        data = rng.integers(0, 256, size=16).astype(np.uint8).tobytes()
+        r1, r2 = BitReader(data), BitReader(data)
+        assert r1.read_bits(40).tolist() == [r2.read_bit() for _ in range(40)]
+        assert r1.position == r2.position
+
+    def test_read_bits_truncation(self):
+        reader = BitReader(b"\xff")
+        with pytest.raises(TruncatedStream):
+            reader.read_bits(9)
+
+    def test_write_bits_mirrors_read_bits(self, rng):
+        bits = rng.integers(0, 2, size=77)
+        writer = BitWriter()
+        writer.write_bits(bits)
+        reader = BitReader(writer.getvalue())
+        assert reader.read_bits(77).tolist() == bits.tolist()
+
+    def test_write_bits_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_bits(np.array([0, 2]))
+
+    def test_seek_rewinds(self):
+        reader = BitReader(b"\xa5")
+        reader.read(5)
+        reader.seek(1)
+        assert reader.position == 1
+        assert reader.read(7) == 0x25
+
+    def test_seek_rejects_out_of_range(self):
+        with pytest.raises(TypeError):
+            BitReader(b"\x00").seek(9)
+
+
+class TestScanUeArray:
+    """The vectorized Exp-Golomb scanner mirrors count_zeros + read."""
+
+    def _stream(self, values):
+        from repro.codec.entropy_coding.expgolomb import write_ue
+
+        writer = BitWriter()
+        for v in values:
+            write_ue(writer, v)
+        return writer.getvalue()
+
+    def test_decodes_values_and_position(self, rng):
+        values = rng.integers(0, 5000, size=300).tolist()
+        reader = BitReader(self._stream(values))
+        decoded, error = reader.scan_ue_array(len(values), 32)
+        assert error is None
+        assert decoded.tolist() == values
+        assert reader.remaining < 8  # only byte padding left
+
+    def test_partial_decode_defers_truncation(self):
+        reader = BitReader(self._stream([3, 4, 5])[:1])
+        decoded, error = reader.scan_ue_array(3, 32)
+        assert decoded.tolist() == [3]  # ue(3)+ue(4) span 5+5 bits > 8
+        assert isinstance(error, TruncatedStream)
+
+    def test_runaway_prefix_deferred_as_corruption(self):
+        reader = BitReader(b"\x00" * 6)  # 48 zero bits, limit 32
+        decoded, error = reader.scan_ue_array(1, 32)
+        assert decoded.size == 0
+        assert isinstance(error, CorruptPayload)
+
+    def test_exhausted_stream(self):
+        decoded, error = BitReader(b"").scan_ue_array(1, 32)
+        assert decoded.size == 0
+        assert isinstance(error, TruncatedStream)
+
+    def test_matches_scalar_reader_on_random_streams(self, rng):
+        from repro.codec.entropy_coding.expgolomb import MAX_UE_ZEROS, read_ue
+
+        for _ in range(50):
+            data = rng.integers(0, 256, size=int(rng.integers(1, 24)))
+            data = data.astype(np.uint8).tobytes()
+            scalar = BitReader(data)
+            got, scalar_error = [], None
+            try:
+                while True:
+                    got.append(read_ue(scalar))
+            except (TruncatedStream, CorruptPayload) as exc:
+                scalar_error = exc
+            batch = BitReader(data)
+            decoded, error = batch.scan_ue_array(len(got) + 1, MAX_UE_ZEROS)
+            assert decoded.tolist() == got
+            assert type(error) is type(scalar_error)
+            assert str(error) == str(scalar_error)

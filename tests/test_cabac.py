@@ -104,6 +104,15 @@ class TestBlockCoding:
         with pytest.raises(ValueError):
             CabacEncoder().encode_blocks(np.zeros((8, 8), dtype=np.int32))
 
+    def test_decode_rejects_negative_count_as_corruption(self):
+        # Mirrors the CAVLC contract: stream-derived counts raise through
+        # the BitstreamError taxonomy so strict=False can conceal.
+        from repro.codec.errors import CorruptPayload
+
+        dec = CabacDecoder(CabacEncoder().flush())
+        with pytest.raises(CorruptPayload):
+            dec.decode_blocks(-1, 8)
+
 
 class TestCompressionAdvantage:
     def test_beats_cavlc_on_typical_residuals(self, rng):

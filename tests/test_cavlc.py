@@ -5,6 +5,7 @@ import pytest
 
 from repro.codec.entropy_coding.bitio import BitReader, BitWriter
 from repro.codec.entropy_coding.cavlc import decode_levels_cavlc, encode_levels_cavlc
+from repro.codec.errors import CorruptPayload
 
 
 def _roundtrip(levels):
@@ -75,8 +76,11 @@ class TestValidation:
         with pytest.raises(ValueError):
             encode_levels_cavlc(BitWriter(), np.zeros((8, 8), dtype=np.int32))
 
-    def test_decode_rejects_negative_count(self):
-        with pytest.raises(TypeError):
+    def test_decode_rejects_negative_count_as_corruption(self):
+        # The count derives from stream-read headers: a corrupt stream must
+        # flow through the BitstreamError taxonomy (strict=False conceals),
+        # not crash with a TypeError.
+        with pytest.raises(CorruptPayload):
             decode_levels_cavlc(BitReader(b"\xff"), -1, 8)
 
     def test_decode_detects_corrupt_run(self):

@@ -6,7 +6,9 @@ import pytest
 from repro.codec.entropy_coding.bitio import BitReader, BitWriter
 from repro.codec.entropy_coding.expgolomb import (
     read_se,
+    read_ses,
     read_ue,
+    read_ues,
     se_code,
     se_codes,
     signed_to_unsigned,
@@ -14,8 +16,11 @@ from repro.codec.entropy_coding.expgolomb import (
     ue_codes,
     unsigned_to_signed,
     write_se,
+    write_ses,
     write_ue,
+    write_ues,
 )
+from repro.codec.errors import TruncatedStream
 
 
 class TestUe:
@@ -81,3 +86,48 @@ class TestStreamRoundTrip:
         assert read_ue(reader) == 7
         assert read_se(reader) == -3
         assert read_ue(reader) == 0
+
+
+class TestVectorizedRead:
+    def test_read_ues_matches_scalar(self, rng):
+        values = rng.integers(0, 100_000, size=250).tolist()
+        writer = BitWriter()
+        for v in values:
+            write_ue(writer, v)
+        data = writer.getvalue()
+        assert read_ues(BitReader(data), len(values)).tolist() == values
+        r1, r2 = BitReader(data), BitReader(data)
+        read_ues(r1, len(values))
+        for _ in values:
+            read_ue(r2)
+        assert r1.position == r2.position
+
+    def test_read_ses_matches_scalar(self, rng):
+        values = rng.integers(-9000, 9000, size=250).tolist()
+        writer = BitWriter()
+        for v in values:
+            write_se(writer, v)
+        assert read_ses(BitReader(writer.getvalue()), len(values)).tolist() == values
+
+    def test_read_ues_raises_scalar_equivalent_error(self):
+        writer = BitWriter()
+        write_ue(writer, 3)
+        reader = BitReader(writer.getvalue())
+        with pytest.raises(TruncatedStream):
+            read_ues(reader, 40)
+
+    def test_write_ues_mirrors_scalar_writer(self, rng):
+        values = rng.integers(0, 500, size=64)
+        w1, w2 = BitWriter(), BitWriter()
+        write_ues(w1, values)
+        for v in values.tolist():
+            write_ue(w2, v)
+        assert w1.getvalue() == w2.getvalue()
+
+    def test_write_ses_mirrors_scalar_writer(self, rng):
+        values = rng.integers(-500, 500, size=64)
+        w1, w2 = BitWriter(), BitWriter()
+        write_ses(w1, values)
+        for v in values.tolist():
+            write_se(w2, v)
+        assert w1.getvalue() == w2.getvalue()

@@ -45,6 +45,17 @@ class TestSpeed:
         with pytest.raises(ValueError):
             pixels_per_second(100, 0.0)
 
-    def test_rejects_zero_pixels(self):
+    def test_zero_pixels_is_zero_speed(self):
+        # An empty/zero-frame clip transcodes nothing: defined as 0.0 so
+        # the bench harness never crashes on a degenerate corpus entry.
+        assert pixels_per_second(0, 1.0) == 0.0
+        assert megapixels_per_second(0, 2.5) == 0.0
+
+    def test_rejects_negative_pixels(self):
         with pytest.raises(ValueError):
-            pixels_per_second(0, 1.0)
+            pixels_per_second(-1, 1.0)
+
+    def test_zero_pixels_still_rejects_zero_time(self):
+        # The time validation stays load-bearing even for empty clips.
+        with pytest.raises(ValueError):
+            pixels_per_second(0, 0.0)
