@@ -16,11 +16,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Optional, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.findings import Finding
 
-__all__ = ["BaselineEntry", "Baseline", "load_baseline", "parse_baseline"]
+__all__ = [
+    "BaselineEntry",
+    "Baseline",
+    "load_baseline",
+    "parse_baseline",
+    "render_baseline",
+]
 
 
 @dataclass(frozen=True)
@@ -31,6 +37,9 @@ class BaselineEntry:
     path: str
     reason: str
     line: Optional[int] = None
+    #: Line of this entry's ``[[allow]]`` header in the baseline file
+    #: itself -- where a stale-entry warning should point.
+    lineno: Optional[int] = None
 
     def matches(self, finding: Finding) -> bool:
         if self.rule != finding.rule:
@@ -49,6 +58,9 @@ class Baseline:
     """A parsed ``.vlint.toml``."""
 
     entries: Tuple[BaselineEntry, ...] = ()
+    #: Path the baseline was loaded from (stale-entry findings anchor
+    #: here); ``None`` for baselines parsed from text.
+    source: Optional[str] = None
 
     def allows(self, finding: Finding) -> bool:
         return any(entry.matches(finding) for entry in self.entries)
@@ -67,10 +79,11 @@ def _parse_value(raw: str, lineno: int) -> Union[str, int]:
         ) from None
 
 
-def parse_baseline(text: str) -> Baseline:
+def parse_baseline(text: str, source: Optional[str] = None) -> Baseline:
     """Parse baseline TOML text into a :class:`Baseline`."""
     entries: List[BaselineEntry] = []
     current: Optional[dict] = None
+    current_lineno: Optional[int] = None
 
     def flush() -> None:
         if current is None:
@@ -87,6 +100,7 @@ def parse_baseline(text: str) -> Baseline:
                 path=str(current["path"]),
                 reason=str(current["reason"]),
                 line=current.get("line"),
+                lineno=current_lineno,
             )
         )
 
@@ -98,6 +112,7 @@ def parse_baseline(text: str) -> Baseline:
         if line == "[[allow]]":
             flush()
             current = {}
+            current_lineno = lineno
             continue
         if line.startswith("["):
             raise ValueError(
@@ -127,7 +142,7 @@ def parse_baseline(text: str) -> Baseline:
             )
         current[key] = value
     flush()
-    return Baseline(entries=tuple(entries))
+    return Baseline(entries=tuple(entries), source=source)
 
 
 def _in_string(line: str) -> bool:
@@ -140,4 +155,29 @@ def _in_string(line: str) -> bool:
 
 def load_baseline(path: Union[str, Path]) -> Baseline:
     """Load and parse a baseline file."""
-    return parse_baseline(Path(path).read_text(encoding="utf-8"))
+    return parse_baseline(
+        Path(path).read_text(encoding="utf-8"), source=str(path)
+    )
+
+
+def render_baseline(entries: Sequence[BaselineEntry]) -> str:
+    """Render entries back to ``.vlint.toml`` text.
+
+    Used by ``repro lint --prune-baseline`` to rewrite the file with
+    stale entries dropped.  Output round-trips through
+    :func:`parse_baseline` and is byte-stable for a given entry list.
+    """
+    lines = [
+        "# vlint baseline: sanctioned findings, each with a reason.",
+        "# Regenerate with `repro lint --prune-baseline` after fixing a",
+        "# sanctioned site, so stale entries cannot linger.",
+    ]
+    for entry in entries:
+        lines.append("")
+        lines.append("[[allow]]")
+        lines.append(f'rule = "{entry.rule}"')
+        lines.append(f'path = "{entry.path}"')
+        if entry.line is not None:
+            lines.append(f"line = {entry.line}")
+        lines.append(f'reason = "{entry.reason}"')
+    return "\n".join(lines) + "\n"

@@ -15,8 +15,18 @@ Importing this package registers every checker with
   ``__all__`` matches what is actually bound.
 * **VL006** :mod:`~repro.analysis.checkers.exceptions` -- codec decode
   paths raise only the bitstream error taxonomy.
+* **VL007** :mod:`~repro.analysis.checkers.clock_discipline` --
+  simulated-time code (traffic, SimClock) never reaches a wall clock
+  (whole-program only).
+* **VL008** :mod:`~repro.analysis.checkers.dead_api` -- every
+  ``__all__`` export has an in-repo caller (whole-program only).
+
+VL001, VL002, and VL006 additionally implement ``check_project`` and
+gain interprocedural findings when ``--whole-program`` is active.
 """
 
+from repro.analysis.checkers.clock_discipline import ClockDisciplineChecker
+from repro.analysis.checkers.dead_api import DeadApiChecker
 from repro.analysis.checkers.determinism import DeterminismChecker
 from repro.analysis.checkers.dtype_safety import DtypeSafetyChecker
 from repro.analysis.checkers.exceptions import ExceptionHygieneChecker
@@ -29,6 +39,8 @@ from repro.analysis.checkers.symmetry import (
 )
 
 __all__ = [
+    "ClockDisciplineChecker",
+    "DeadApiChecker",
     "DeterminismChecker",
     "DtypeSafetyChecker",
     "ExceptionHygieneChecker",

@@ -1,0 +1,111 @@
+"""VL008: dead public API -- every ``__all__`` name needs an in-repo user.
+
+``__all__`` is this repo's public-API contract (VL005 keeps it in sync
+with what a package binds).  But a contract nobody exercises is worse
+than none: a dead export keeps dead code alive, shows up in docs, and --
+because VL005 *requires* public bindings to be exported -- can never be
+garbage-collected by a per-file check.  Whole-program analysis is the
+only way to ask the real question: does anything, anywhere in the repo,
+actually reference this name?
+
+Phase 2 builds a usage map from every module's external references
+(imports, ``from``-imports, attribute chains rooted at module aliases,
+``import *``) and propagates usage along package re-export chains *in
+both directions*: importing ``repro.exec.TranscodeCache`` uses
+``repro.exec.cache.TranscodeCache``, and importing the defining module
+directly keeps the package-level convenience re-export alive -- an
+export is dead only when the object it names has no user under *any*
+access path.  Reference-only files (tests, examples, benchmarks) count
+as users but are never linted themselves -- a name only tests exercise
+is still alive.  An export with no reference outside its own module is
+reported at its ``__all__`` entry.
+
+Two carve-outs: a package ``__init__`` importing a name *in order to
+re-export it* is an edge in the usage graph, not a use (otherwise every
+re-exported dead name would keep itself alive through its own
+plumbing), and dunder exports (``__version__``) are metadata read by
+tooling, not API.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Checker, register
+
+__all__ = ["DeadApiChecker"]
+
+
+@register
+class DeadApiChecker(Checker):
+    rule = "VL008"
+    title = "name exported in __all__ but never referenced in-repo"
+
+    def check_project(self, index) -> List[Finding]:
+        used = self._usage_map(index)
+        findings: List[Finding] = []
+        for module_name in sorted(index.lint_modules):
+            summary = index.summaries[module_name]
+            for export in summary.exports:
+                if export.name.startswith("__") and export.name.endswith(
+                    "__"
+                ):
+                    continue
+                if (module_name, export.name) in used:
+                    continue
+                findings.append(
+                    Finding(
+                        rule=self.rule,
+                        path=summary.path,
+                        line=export.line,
+                        column=export.col,
+                        message=(
+                            f"{export.name!r} is exported in __all__ but "
+                            f"nothing in the repo (or its tests) "
+                            f"references it; remove the export and the "
+                            f"dead code it names, or add the missing "
+                            f"caller"
+                        ),
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _usage_map(index) -> Set[Tuple[str, str]]:
+        """(module, exported name) pairs referenced from another module."""
+        used: Set[Tuple[str, str]] = set()
+        for module_name in sorted(index.summaries):
+            summary = index.summaries[module_name]
+            for ref in summary.refs:
+                if ref.endswith(".*"):
+                    base = ref[:-2]
+                    if base in index.summaries and base != module_name:
+                        for export in index.summaries[base].exports:
+                            used.add((base, export.name))
+                    continue
+                owner, name = index.graph.split(ref)
+                if owner is not None and owner != module_name:
+                    used.add((owner, name))
+        # Usage flows along re-export chains in both directions: using
+        # P.name uses the name P imported it from, and using the source
+        # directly keeps the convenience re-export alive.  An export is
+        # dead only when the object it names has no user on any path.
+        changed = True
+        while changed:
+            changed = False
+            for module_name in sorted(index.summaries):
+                summary = index.summaries[module_name]
+                for local, source in summary.reexports:
+                    owner, name = index.graph.split(source)
+                    if owner is None:
+                        continue
+                    alias_used = (module_name, local) in used
+                    source_used = (owner, name) in used
+                    if alias_used and not source_used:
+                        used.add((owner, name))
+                        changed = True
+                    elif source_used and not alias_used:
+                        used.add((module_name, local))
+                        changed = True
+        return used

@@ -125,3 +125,54 @@ class ExceptionHygieneChecker(Checker):
                 )
             )
         return findings
+
+    # -- whole-program taxonomy closure (phase 2) ----------------------------
+
+    def check_project(self, index) -> List[Finding]:
+        """The taxonomy contract, verified transitively.
+
+        The per-file pass checks what a decode-path function raises
+        *directly*.  The project index closes over the call graph: a
+        helper three calls deep that raises bare ``ValueError`` -- minus
+        anything caught by an enclosing ``try`` along the way -- leaks
+        that exception through the decode API.  Findings anchor at each
+        *public* decode-path function (the API boundary callers and the
+        fuzz oracle actually hit); private ``_decode_*`` helpers are
+        conduits the closure propagates through, not boundaries.
+        """
+        findings: List[Finding] = []
+        for module_name in sorted(index.lint_modules):
+            if not (
+                module_name == CODEC_PACKAGE
+                or module_name.startswith(CODEC_PACKAGE + ".")
+            ):
+                continue
+            summary = index.summaries[module_name]
+            for fn in summary.functions:
+                if not fn.decode_path or not _is_public_qualname(fn.name):
+                    continue
+                facts = index.facts.get(f"{module_name}.{fn.name}")
+                if facts is None:
+                    continue
+                for exc, origin in sorted(facts.raises_out.items()):
+                    findings.append(
+                        Finding(
+                            rule=self.rule,
+                            path=summary.path,
+                            line=fn.line,
+                            column=fn.col,
+                            message=(
+                                f"decode path {fn.name!r} can leak {exc} "
+                                f"raised at {origin}; catch it at the "
+                                f"decode boundary or raise a "
+                                f"BitstreamError subclass at the origin"
+                            ),
+                        )
+                    )
+        return findings
+
+
+def _is_public_qualname(name: str) -> bool:
+    return all(
+        part and not part.startswith("_") for part in name.split(".")
+    )

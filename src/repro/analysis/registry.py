@@ -7,10 +7,12 @@ a rule means writing one module under ``repro.analysis.checkers`` and
 decorating the class; the engine, the CLI's ``--rules`` filter, and the
 self-hosting tests all pick it up from here.
 
-Checkers are deliberately *per-file*: every invariant this repo cares
-about (a write/read pair, a worker function and its dispatch site, a
-package's ``__all__``) lives inside one module, so per-file checking is
-what lets the engine walk files in parallel with no cross-file barrier.
+Checkers run in two phases.  ``check(module)`` is *per-file* and runs in
+parallel with no cross-file barrier; ``check_project(index)`` is the
+optional *whole-program* hook that runs serially after the fixed-point
+solve over the merged :class:`~repro.analysis.project.ProjectIndex`, for
+invariants no single file can witness (cross-module taint, transitive
+exception taxonomy, dead exports).
 """
 
 from __future__ import annotations
@@ -79,7 +81,19 @@ class Checker:
     title: str = ""
 
     def check(self, module: ModuleInfo) -> List[Finding]:
-        raise NotImplementedError
+        """Per-file findings for one parsed module."""
+        return []
+
+    def check_project(self, index) -> List[Finding]:
+        """Whole-program findings over a solved ProjectIndex.
+
+        Called once per lint run when ``--whole-program`` is active,
+        after the fixed-point solve.  The default is no global findings;
+        interprocedural rules override this.  Implementations must be
+        deterministic (sorted iteration only) -- the serial/parallel
+        byte-identity contract covers this phase too.
+        """
+        return []
 
     def finding(
         self, module: ModuleInfo, node: ast.AST, message: str

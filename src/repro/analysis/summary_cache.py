@@ -1,0 +1,182 @@
+"""Content-addressed cache of per-file summaries and findings.
+
+Phase 1 of a whole-program lint run is embarrassingly parallel but still
+pays the full AST walk for every file on every run, even though most
+files do not change between runs.  This cache memoizes phase 1 the same
+way :class:`repro.exec.cache.TranscodeCache` memoizes transcodes:
+
+* **Content-addressed.** The key is a SHA-256 over the file's *bytes*
+  plus every input that shapes the output: the cache format version,
+  :data:`~repro.analysis.summaries.SUMMARY_VERSION`, the repro release,
+  the module name, and the active rule selection.  Touch a file without
+  changing it and the entry still hits; change any byte and it misses.
+  There is deliberately no mtime anywhere in the key.
+* **Versioned.** Changing the summary IR or any checker must bump
+  :data:`CACHE_FORMAT_VERSION` (or ``SUMMARY_VERSION``); old entries
+  then simply never hit again and age out.  The payload repeats both
+  versions and the module name so a truncated or hand-edited entry is
+  detected on load rather than trusted.
+* **Atomic and self-healing.** Stores write a temp file and
+  ``os.replace`` it into place, so concurrent workers never observe a
+  half-written entry; a corrupt entry is evicted and recomputed, never
+  propagated (the ``TranscodeCache`` idiom).
+
+Findings are persisted with their ``path`` field stripped and re-injected
+on load, so a cache shared between absolute- and relative-path
+invocations of the same tree still hits and still reports the caller's
+spelling of the path.  Warm and cold runs are byte-identical by
+construction: a hit returns exactly what the miss computed and stored.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+import repro
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.summaries import SUMMARY_VERSION, ModuleSummary
+
+__all__ = ["CACHE_FORMAT_VERSION", "SummaryCache", "cache_key_for"]
+
+#: Bump when the cached payload shape -- or any checker's behaviour --
+#: changes.  Part of every key, so stale formats miss instead of parse.
+CACHE_FORMAT_VERSION = 1
+
+#: Default cache directory, relative to the invocation cwd.
+DEFAULT_CACHE_DIR = ".vlint-cache"
+
+
+def cache_key_for(
+    source: bytes,
+    module: str,
+    rules: Optional[Sequence[str]],
+) -> str:
+    """The content-addressed key for one file's phase-1 output."""
+    material = repr(
+        (
+            CACHE_FORMAT_VERSION,
+            SUMMARY_VERSION,
+            repro.__version__,
+            module,
+            tuple(rules) if rules is not None else None,
+        )
+    ).encode("utf-8")
+    digest = hashlib.sha256()
+    digest.update(b"vlint-summary\x00")
+    digest.update(material)
+    digest.update(b"\x00")
+    digest.update(source)
+    return digest.hexdigest()
+
+
+@dataclass
+class SummaryCache:
+    """Disk-persisted phase-1 results, shared across runs and workers."""
+
+    root: Union[str, Path] = DEFAULT_CACHE_DIR
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    def _path(self, key: str) -> Path:
+        return Path(self.root) / key[:2] / f"{key}.json"
+
+    def key_for(
+        self,
+        source: bytes,
+        module: str,
+        rules: Optional[Sequence[str]],
+    ) -> str:
+        return cache_key_for(source, module, rules)
+
+    def load(
+        self, key: str, path: str, module: str
+    ) -> Optional[Tuple[List[Finding], ModuleSummary]]:
+        """The cached ``(findings, summary)`` for ``key``, or ``None``.
+
+        ``path`` is re-attached to every finding and to the summary (paths
+        are never persisted); ``module`` cross-checks the entry.
+        """
+        entry = self._path(key)
+        try:
+            blob = entry.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            payload = json.loads(blob)
+            if (
+                payload["format"] != CACHE_FORMAT_VERSION
+                or payload["summary_version"] != SUMMARY_VERSION
+                or payload["module"] != module
+            ):
+                raise ValueError("stale or foreign cache entry")
+            findings = [
+                Finding(
+                    rule=f["rule"],
+                    path=path,
+                    line=f["line"],
+                    column=f["column"],
+                    message=f["message"],
+                    severity=Severity(f["severity"]),
+                )
+                for f in payload["findings"]
+            ]
+            summary = ModuleSummary.from_dict(payload["summary"], path)
+        except Exception:
+            # A corrupt artifact is evicted and recomputed, never
+            # propagated (the TranscodeCache idiom).
+            try:
+                entry.unlink()
+            except OSError:  # pragma: no cover - concurrent eviction
+                pass
+            self.evictions += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return findings, summary
+
+    def store(
+        self, key: str, findings: Sequence[Finding], summary: ModuleSummary
+    ) -> None:
+        """Persist one file's phase-1 output (atomic: temp + rename)."""
+        payload = {
+            "format": CACHE_FORMAT_VERSION,
+            "summary_version": SUMMARY_VERSION,
+            "module": summary.module,
+            "findings": [
+                {
+                    "rule": f.rule,
+                    "line": f.line,
+                    "column": f.column,
+                    "message": f.message,
+                    "severity": f.severity.value,
+                }
+                for f in findings
+            ],
+            "summary": summary.to_dict(),
+        }
+        entry = self._path(key)
+        entry.parent.mkdir(parents=True, exist_ok=True)
+        tmp = entry.parent / f".{key}.{os.getpid()}.tmp"
+        tmp.write_text(
+            json.dumps(payload, sort_keys=True), encoding="utf-8"
+        )
+        os.replace(tmp, entry)
+        self.stores += 1
+
+    def entry_count(self) -> int:
+        """Number of entries currently on disk."""
+        return sum(1 for _ in Path(self.root).glob("*/*.json"))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SummaryCache(root={str(self.root)!r})"

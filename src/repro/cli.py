@@ -15,7 +15,8 @@ script).  Commands:
 * ``chaos``   -- seeded fault-injection run of the transcoding farm.
 * ``traffic`` -- simulate a request stream against the farm; print SLOs.
 * ``fuzz``    -- deterministic structured fuzzing of the decoder.
-* ``lint``    -- the vlint static-analysis pass (VL001-VL006).
+* ``lint``    -- the vlint static-analysis pass (VL001-VL008; add
+  ``--whole-program`` for the cross-module rules).
 
 Every command prints human-readable rows to stdout and exits non-zero on
 invalid input, so the tools compose in shell pipelines.  Diagnostics that
@@ -270,6 +271,42 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="files linted concurrently (process pool)",
+    )
+    lint.add_argument(
+        "--whole-program",
+        action="store_true",
+        help="run phase 2: merge per-file summaries, solve the "
+        "cross-module call graph, and run the interprocedural rules "
+        "(VL007/VL008; deeper VL001/VL002/VL006)",
+    )
+    lint.add_argument(
+        "--reference",
+        action="append",
+        default=[],
+        metavar="PATH",
+        help="summaries-only tree (tests, examples): counts as usage for "
+        "whole-program rules but is never linted itself (repeatable)",
+    )
+    lint.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the content-addressed summary cache",
+    )
+    lint.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=".vlint-cache",
+        help="summary cache directory (default: %(default)s)",
+    )
+    lint.add_argument(
+        "--graph-out",
+        metavar="FILE",
+        help="with --whole-program: write the resolved call graph as JSON",
+    )
+    lint.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help="rewrite the baseline file with stale entries removed",
     )
     return parser
 
@@ -606,27 +643,64 @@ def _cmd_fuzz(args) -> int:
 
 
 def _cmd_lint(args) -> int:
+    import json
     from pathlib import Path
 
     import repro
-    from repro.analysis.baseline import load_baseline
+    from repro.analysis.baseline import load_baseline, render_baseline
     from repro.analysis.engine import lint_paths
     from repro.analysis.reporters import render_json, render_text
 
     paths = args.paths or [str(Path(repro.__file__).parent)]
+    if args.prune_baseline and (args.rules or not args.whole_program):
+        print(
+            "--prune-baseline requires --whole-program and no --rules "
+            "(staleness is only decidable on a complete run)"
+        )
+        return 2
     baseline = None
-    if not args.no_baseline:
-        baseline_path = args.baseline or ".vlint.toml"
-        if args.baseline or Path(baseline_path).exists():
-            baseline = load_baseline(baseline_path)
+    baseline_path = args.baseline or ".vlint.toml"
+    if not args.no_baseline and (
+        args.baseline or Path(baseline_path).exists()
+    ):
+        baseline = load_baseline(baseline_path)
     rules = (
         [r.strip() for r in args.rules.split(",") if r.strip()]
         if args.rules
         else None
     )
     report = lint_paths(
-        paths, rules=rules, baseline=baseline, jobs=args.jobs
+        paths,
+        rules=rules,
+        baseline=baseline,
+        jobs=args.jobs,
+        whole_program=args.whole_program,
+        reference_paths=args.reference,
+        cache_root=None if args.no_cache else args.cache_dir,
     )
+    if args.graph_out:
+        if report.call_graph is None:
+            print("--graph-out requires --whole-program")
+            return 2
+        Path(args.graph_out).write_text(
+            json.dumps(report.call_graph, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    if args.prune_baseline:
+        if baseline is None:
+            print("--prune-baseline: no baseline file to prune")
+            return 2
+        stale = set(report.stale_entries)
+        kept = [e for e in baseline.entries if e not in stale]
+        Path(baseline_path).write_text(
+            render_baseline(kept), encoding="utf-8"
+        )
+        print(
+            f"pruned {len(stale)} stale entr"
+            f"{'y' if len(stale) == 1 else 'ies'} from {baseline_path} "
+            f"({len(kept)} kept)"
+        )
+        return 0
     if args.json:
         print(render_json(report))
     else:

@@ -29,9 +29,6 @@ from repro.codec.errors import CorruptPayload, HeaderError
 
 __all__ = [
     "StreamHeader",
-    "MAGIC",
-    "MAGIC_V2",
-    "RESYNC",
     "PACKET_OVERHEAD_BITS",
     "write_header",
     "write_header_v2",

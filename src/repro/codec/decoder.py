@@ -199,7 +199,33 @@ class Decoder:
         refs,
         counters: Counters,
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Decode one frame's payload into clipped reconstruction planes."""
+        """Decode one frame's payload into clipped reconstruction planes.
+
+        Defense in depth for the untrusted-input contract: the explicit
+        validations below catch the corruptions we know about, and any
+        stray ``ValueError``/``ArithmeticError``/``IndexError`` a helper
+        raises on bit patterns they missed is converted here instead of
+        crashing through :meth:`Decoder.decode` (the fuzz oracle treats
+        such an escape as a violation).  Taxonomy errors pass through
+        untouched so truncation stays distinguishable from corruption.
+        """
+        try:
+            return self._decode_frame_payload_unchecked(
+                reader, header, geometry, refs, counters
+            )
+        except BitstreamError:
+            raise
+        except (ValueError, ArithmeticError, IndexError) as exc:
+            raise CorruptPayload(f"corrupt stream: {exc}") from exc
+
+    def _decode_frame_payload_unchecked(
+        self,
+        reader: BitReader,
+        header: StreamHeader,
+        geometry,
+        refs,
+        counters: Counters,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         coded_h, coded_w, n_mb, ys, xs, cys, cxs = geometry
         tsize = header.transform_size
         frame_type = FrameType(reader.read(1))

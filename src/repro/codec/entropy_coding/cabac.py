@@ -24,7 +24,7 @@ import numpy as np
 from repro.codec.errors import CorruptPayload
 from repro.codec.transform import zigzag_order
 
-__all__ = ["CabacEncoder", "CabacDecoder", "ContextSet"]
+__all__ = ["CabacEncoder", "CabacDecoder"]
 
 _PROB_BITS = 11
 _PROB_ONE = 1 << _PROB_BITS  # probabilities are P(bit == 0) in [1, 2047]

@@ -40,10 +40,6 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = [
     "record_p_frame",
     "record_i_frame",
-    "BRANCH_CONTEXTS",
-    "CUR_BASE",
-    "REF_BASE",
-    "RECON_BASE",
 ]
 
 #: Names (and ids) of the modelled branch contexts.

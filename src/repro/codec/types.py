@@ -5,13 +5,10 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-import numpy as np
-
 __all__ = [
     "FrameType",
     "BlockMode",
     "MB_SIZE",
-    "FramePlan",
     "FrameStats",
 ]
 
@@ -42,29 +39,6 @@ class BlockMode(enum.IntEnum):
     SKIP = 0
     INTER = 1
     INTRA = 2
-
-
-@dataclass
-class FramePlan:
-    """Everything the encoder decided about one frame, pre-entropy-coding.
-
-    Attributes:
-        frame_type: I or P.
-        qp: Luma quantization parameter used for the frame.
-        modes: ``(n_mb,)`` int array of :class:`BlockMode` values.
-        mvs: ``(n_mb, 2)`` int array of motion vectors in *quarter-pel* units,
-            ``(dy, dx)``; zeros for non-inter blocks.
-        luma_levels: ``(n_mb * blocks_per_mb, t, t)`` quantized transform
-            levels for the luma residual (``t`` = transform size).
-        chroma_levels: ``(n_mb * 2, 8, 8)`` quantized levels for U then V.
-    """
-
-    frame_type: FrameType
-    qp: int
-    modes: np.ndarray
-    mvs: np.ndarray
-    luma_levels: np.ndarray
-    chroma_levels: np.ndarray
 
 
 @dataclass

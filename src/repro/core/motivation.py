@@ -15,7 +15,6 @@ from typing import Dict, List, Tuple
 
 __all__ = [
     "YOUTUBE_HOURS_PER_MINUTE",
-    "SPECRATE_MEDIAN",
     "growth_since",
     "growth_gap",
 ]

@@ -26,7 +26,6 @@ from repro.simd.kernels import (
 )
 
 __all__ = [
-    "REFERENCE_FREQ_HZ",
     "cycle_breakdown",
     "modeled_seconds",
     "modeled_instructions",

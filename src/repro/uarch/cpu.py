@@ -33,7 +33,7 @@ from repro.uarch.branch import GsharePredictor
 from repro.uarch.cache import SetAssociativeCache
 from repro.video.video import Video
 
-__all__ = ["CpuModel", "UarchProfile", "profile_encode", "KERNEL_CODE_BYTES"]
+__all__ = ["CpuModel", "UarchProfile", "profile_encode"]
 
 #: Static code footprint per kernel (bytes).  Roughly proportional to the
 #: complexity of the corresponding x264 code paths: entropy coding and

@@ -22,7 +22,7 @@ from scipy import ndimage
 from repro.video.frame import Frame
 from repro.video.video import Video
 
-__all__ = ["denoise_video", "denoise_plane"]
+__all__ = ["denoise_video"]
 
 
 def denoise_plane(

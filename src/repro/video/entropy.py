@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from repro.video.video import Video
 
-__all__ = ["ENTROPY_CRF", "measure_entropy"]
+__all__ = ["measure_entropy"]
 
 #: CRF 18 is the "visually lossless" constant-quality point (Section 4.1).
 ENTROPY_CRF = 18

@@ -32,12 +32,6 @@ from repro.video.video import Video
 __all__ = [
     "CONTENT_CLASSES",
     "synthesize",
-    "slideshow",
-    "screencast",
-    "animation",
-    "natural",
-    "gaming",
-    "sports",
 ]
 
 

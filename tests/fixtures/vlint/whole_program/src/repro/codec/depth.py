@@ -1,0 +1,12 @@
+"""Fixture: a validation helper that raises outside the taxonomy.
+
+``check_depth`` is not a decode-path function, so the per-file VL006
+never inspects it.  The leak only exists transitively: a decode path in
+another module calls it without catching the ``ValueError``.
+"""
+
+
+def check_depth(value: int) -> int:
+    if value > 8:
+        raise ValueError("depth too large")
+    return value

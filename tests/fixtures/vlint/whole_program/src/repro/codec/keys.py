@@ -1,0 +1,18 @@
+"""Fixture: a two-module taint chain the per-file VL001 cannot see.
+
+``stamp()`` lives in ``repro.timeutil`` (out of scope), so this module
+contains no direct wall-clock read -- yet ``key_material`` feeds a clock
+value into a ``cache_key`` sink.  Only the whole-program phase, with
+``returns_clock`` propagated across the module boundary, can flag it.
+"""
+
+from repro.timeutil import stamp
+
+
+def cache_key(name: str, salt: float) -> str:
+    return f"{name}:{salt}"
+
+
+def key_material(name: str) -> str:
+    jitter = stamp()  # tainted across the module boundary
+    return cache_key(name, jitter)

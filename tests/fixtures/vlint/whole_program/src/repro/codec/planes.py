@@ -1,0 +1,8 @@
+"""Fixture: a uint8 producer whose callers live in another module."""
+
+import numpy as np
+
+
+def uint8_plane(height: int, width: int):
+    plane = np.zeros((height, width), dtype=np.uint8)
+    return plane

@@ -1,0 +1,15 @@
+"""Fixture: cross-module uint8 arithmetic the per-file VL002 cannot see.
+
+``uint8_plane`` returns a uint8 array, but the cast happens one module
+away -- locally these are just names, so the per-file rule stays quiet.
+The whole-program uint8 lattice carries the dtype through the return and
+must flag the wrapping subtraction.
+"""
+
+from repro.codec.planes import uint8_plane
+
+
+def residual(height: int, width: int):
+    cur = uint8_plane(height, width)
+    ref = uint8_plane(height, width)
+    return cur - ref  # wraps at 0/255: both operands are uint8

@@ -1,0 +1,11 @@
+"""Fixture: a package exporting one live name and one dead one.
+
+``used_fn`` has a caller in ``repro.usedby``; ``dead_fn`` has none
+anywhere (nor any test reference), so VL008 must flag exactly the
+``dead_fn`` export.  VL005 is satisfied on purpose: both names are
+bound and both are listed.
+"""
+
+from repro.deadpkg.impl import dead_fn, used_fn
+
+__all__ = ["dead_fn", "used_fn"]

@@ -1,0 +1,9 @@
+"""Fixture: implementations behind the deadpkg re-export surface."""
+
+
+def used_fn() -> int:
+    return 1
+
+
+def dead_fn() -> int:
+    return 2

@@ -1,0 +1,13 @@
+"""Fixture: a wall-clock helper *outside* every per-file rule's scope.
+
+Nothing here is a violation on its own -- ``repro.timeutil`` is not a
+deterministic package, so VL001 never looks at it.  The whole-program
+rules must discover that callers in scoped packages reach this clock
+read through the call graph.
+"""
+
+import time
+
+
+def stamp() -> float:
+    return time.perf_counter()

@@ -1,0 +1,7 @@
+"""Fixture: the one caller that keeps ``deadpkg.used_fn`` alive."""
+
+from repro.deadpkg import used_fn
+
+
+def run() -> int:
+    return used_fn()

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.core.coverage import compare_suites, coverage_metrics, scatter_points
+from repro.core.coverage import (
+    CoverageMetrics,
+    compare_suites,
+    coverage_metrics,
+    scatter_points,
+)
 from repro.core.reporting import format_metric_rows, format_scores, scores_to_csv
 from repro.core.scenarios import Ratios, Scenario, ScenarioScore
 from repro.corpus.category import VideoCategory
@@ -17,6 +22,7 @@ class TestCoverage:
     def test_full_coverage_zero_gap(self):
         target = coverage_set(samples_per_combo=3)
         metrics = coverage_metrics(target, target)
+        assert isinstance(metrics, CoverageMetrics)
         assert metrics.mean_gap == pytest.approx(0.0)
         assert metrics.max_gap == pytest.approx(0.0)
 

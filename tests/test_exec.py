@@ -10,6 +10,7 @@ from repro.encoders.base import RateSpec, Transcoder, TranscodeResult
 from repro.encoders.software import X264Transcoder
 from repro.exec.cache import (
     CACHE_VERSION,
+    CacheCorruptError,
     CacheStats,
     CachingTranscoder,
     TranscodeCache,
@@ -111,10 +112,14 @@ class TestTranscodeCache:
         return cache, key, cache._path(key)
 
     def test_corrupt_payload_evicted(self, tmp_path, natural_video):
+        from repro.exec.cache import _deserialize
+
         cache, key, path = self._stored_entry(tmp_path, natural_video)
         blob = bytearray(path.read_bytes())
         blob[-1] ^= 0xFF  # flip a payload byte: checksum must catch it
         path.write_bytes(bytes(blob))
+        with pytest.raises(CacheCorruptError, match="checksum"):
+            _deserialize(bytes(blob), natural_video)
         assert cache.load(key, natural_video) is None
         assert cache.stats.evictions == 1
         assert not path.exists()

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.pipeline.farm import FarmConfig, TranscodeFarm
+from repro.pipeline.farm import (
+    DeadLetter,
+    FarmConfig,
+    FarmJobError,
+    ResilientTranscoder,
+    RobustnessReport,
+    TranscodeFarm,
+)
 from repro.pipeline.service import ServiceConfig
 from repro.robust.breaker import BreakerState
 from repro.robust.faults import FaultPlan
@@ -95,6 +102,8 @@ class TestChaosSurvival:
 
     def test_faults_were_actually_injected_and_handled(self, chaotic):
         report = chaotic.report
+        assert isinstance(report, RobustnessReport)
+        assert isinstance(chaotic.service.delivery, ResilientTranscoder)
         assert report.outage_failures > 0
         assert report.transient_failures + report.corrupt_detected > 0
         assert report.downgrades  # the dead rung forced degradation
@@ -177,6 +186,7 @@ class TestDeadLetters:
         report = farm.report
         assert report.jobs_completed == 0
         assert report.jobs_dead_lettered == report.jobs_total == len(CONTENTS)
+        assert all(isinstance(l, DeadLetter) for l in report.dead_letters)
         assert farm.catalog == {}  # nothing half-ingested
         assert all(l.stage == "upload" for l in report.dead_letters)
 
@@ -334,6 +344,14 @@ class TestJobStream:
         timing = farm.execute_job(make_clips()[0], Scenario.VOD, at_s=0.0)
         assert not timing.completed
         assert timing.reason
+        # Calling the resilient layer directly surfaces the same
+        # exhaustion as the typed error the farm dead-letters on.
+        from repro.encoders.base import RateSpec
+
+        with pytest.raises(FarmJobError, match="exhausted its ladder"):
+            farm.service.delivery.transcode(
+                make_clips()[0], RateSpec.for_crf(28)
+            )
         letters = [l for l in farm.report.dead_letters if l.stage == "job"]
         assert len(letters) == 1
 

@@ -14,6 +14,9 @@ import pytest
 from repro.cli import main
 from repro.fuzz import (
     MUTATORS,
+    FuzzFinding,
+    FuzzReport,
+    OracleVerdict,
     ddmin,
     load_corpus,
     mutate,
@@ -98,6 +101,7 @@ class TestMutators:
 class TestOracle:
     def test_clean_stream_is_ok(self, v2_stream):
         verdict = run_oracle(v2_stream)
+        assert isinstance(verdict, OracleVerdict)
         assert verdict.outcome == "ok"
         assert not verdict.is_violation
 
@@ -173,6 +177,8 @@ class TestCampaign:
 
     def test_no_violations_at_fixed_seed(self):
         report = run_fuzz(seed=0, budget=200)
+        assert isinstance(report, FuzzReport)
+        assert all(isinstance(v, FuzzFinding) for v in report.violations)
         assert report.ok, report.to_text()
         assert sum(report.outcomes.values()) == 200
         # The campaign exercises more than one outcome class.

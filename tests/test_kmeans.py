@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.corpus.kmeans import weighted_kmeans
+from repro.corpus.kmeans import KMeansResult, weighted_kmeans
 
 
 def _three_clusters(rng, n=60):
@@ -18,6 +18,7 @@ class TestClustering:
     def test_recovers_separated_clusters(self, rng):
         points, centers = _three_clusters(rng)
         result = weighted_kmeans(points, np.ones(len(points)), k=3, seed=1)
+        assert isinstance(result, KMeansResult)
         found = sorted(result.centroids.tolist())
         expected = sorted(centers.tolist())
         for f, e in zip(found, expected):

@@ -10,6 +10,7 @@ from repro.robust.clock import EventQueue, SimClock
 from repro.robust.degrade import degradation_ladder
 from repro.robust.faults import (
     BackendOutage,
+    FaultError,
     FaultPlan,
     FaultyTranscoder,
     TransientFault,
@@ -107,6 +108,12 @@ class TestEventQueue:
 
 
 class TestFaultPlan:
+    def test_taxonomy_roots_at_fault_error(self):
+        # Callers can catch every injected failure with one except clause.
+        assert issubclass(TransientFault, FaultError)
+        assert issubclass(BackendOutage, FaultError)
+        assert issubclass(FaultError, Exception)
+
     def test_rate_validation(self):
         with pytest.raises(ValueError):
             FaultPlan(crash_rate=-0.1)

@@ -7,10 +7,12 @@ from repro.traffic import (
     AdmissionConfig,
     AdmissionController,
     ArrivalConfig,
+    Decision,
     AutoscalerConfig,
     LatencySummary,
     QueueDepthAutoscaler,
     ScenarioPolicy,
+    SpikeWindow,
     TrafficConfig,
     TrafficSimulator,
     generate_arrivals,
@@ -59,6 +61,7 @@ class TestSpikes:
         config = ArrivalConfig(duration_s=3600, spike_spacing_s=600,
                                spike_duration_s=60)
         spikes = generate_spikes(config, seed=5)
+        assert all(isinstance(s, SpikeWindow) for s in spikes)
         assert spikes == generate_spikes(config, seed=5)
         assert spikes != generate_spikes(config, seed=6)
         assert len(spikes) == 6  # one per slot
@@ -132,6 +135,7 @@ class TestAdmission:
         decision = self.make().decide(
             Scenario.LIVE, depth=0, expected_wait_s=0.0, deadline_slack_s=1.0
         )
+        assert isinstance(decision, Decision)
         assert decision.admitted
 
     def test_live_sheds_on_deadline(self):

@@ -6,7 +6,7 @@ import pytest
 from repro.uarch.branch import BimodalPredictor, GsharePredictor
 from repro.uarch.cache import SetAssociativeCache
 from repro.uarch.cpu import CpuModel, profile_encode
-from repro.uarch.topdown import top_down
+from repro.uarch.topdown import TopDownBreakdown, top_down
 
 
 class TestCache:
@@ -137,6 +137,7 @@ class TestTopDown:
         )
         profile = CpuModel().run_trace(trace, modeled_instructions(result.counters))
         breakdown = top_down(result.counters, profile)
+        assert isinstance(breakdown, TopDownBreakdown)
         assert sum(breakdown.as_dict().values()) == pytest.approx(1.0)
         assert breakdown.retiring > 0.3  # the paper's dominant bucket
 

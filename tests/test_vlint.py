@@ -9,13 +9,18 @@ The big contracts under test:
   ``tests/fixtures/vlint`` trip every rule, and the CLI exits non-zero on
   them.
 * **Deterministic output** -- parallel and serial runs render
-  byte-identical reports, and the JSON form is stable and parseable.
+  byte-identical reports (including the whole-program phase), and the
+  JSON form is stable and parseable.
+* **Whole-program closure** -- the cross-module fixtures are quiet
+  per-file and light up exactly once each under ``--whole-program``,
+  and the summary cache replays cold results byte-for-byte.
 * **Static symmetry is backed by behaviour** -- the write/read pairs
   VL004 discovers in ``entropy_coding`` round-trip seeded random values.
 """
 
 import ast
 import json
+import shutil
 from pathlib import Path
 
 import numpy as np
@@ -24,8 +29,22 @@ import pytest
 from repro.analysis import (
     Baseline,
     BaselineEntry,
+    ClockDisciplineChecker,
+    DeadApiChecker,
+    DeterminismChecker,
+    DtypeSafetyChecker,
+    ExceptionHygieneChecker,
+    ExportSyncChecker,
     Finding,
+    ForkSafetyChecker,
+    JSON_REPORT_VERSION,
     Severity,
+    SummaryCache,
+    SymmetricPair,
+    SymmetryChecker,
+    build_project_index,
+    checker_for,
+    collect_summaries,
     discover_pairs,
     known_rules,
     lint_file,
@@ -33,15 +52,19 @@ from repro.analysis import (
     load_baseline,
     module_name_for,
     parse_baseline,
+    render_baseline,
     render_json,
     render_text,
 )
-from repro.cli import main
+from repro.analysis.engine import STALE_BASELINE_RULE
+from repro.analysis.summary_cache import CACHE_FORMAT_VERSION, cache_key_for
+from repro.cli import build_parser, main
 from repro.codec.entropy_coding.bitio import BitReader, BitWriter
 
 REPO = Path(__file__).resolve().parent.parent
 SRC = REPO / "src" / "repro"
 FIXTURES = REPO / "tests" / "fixtures" / "vlint"
+WHOLE_PROGRAM = FIXTURES / "whole_program"
 
 
 def rules_in(findings):
@@ -60,7 +83,23 @@ class TestSelfHosting:
         assert report.ok
         assert report.files_checked > 80
 
-    def test_all_six_rules_registered(self):
+    def test_whole_program_self_hosts_clean(self):
+        # The CI gate: every cross-module rule over src/, with tests/ as
+        # the reference tree (test usage keeps public API alive for
+        # VL008) and the shipped baseline sanctioning the two documented
+        # VL006 exceptions -- and nothing else.
+        report = lint_paths(
+            [SRC],
+            whole_program=True,
+            reference_paths=[REPO / "tests"],
+            baseline=load_baseline(REPO / ".vlint.toml"),
+        )
+        assert report.findings == [], render_text(report)
+        assert report.stale_entries == []
+        assert rules_in(report.suppressed) == {"VL006"}
+        assert len(report.suppressed) == 2
+
+    def test_all_eight_rules_registered(self):
         assert known_rules() == [
             "VL001",
             "VL002",
@@ -68,7 +107,23 @@ class TestSelfHosting:
             "VL004",
             "VL005",
             "VL006",
+            "VL007",
+            "VL008",
         ]
+
+    def test_registry_maps_rules_to_checkers(self):
+        expected = {
+            "VL001": DeterminismChecker,
+            "VL002": DtypeSafetyChecker,
+            "VL003": ForkSafetyChecker,
+            "VL004": SymmetryChecker,
+            "VL005": ExportSyncChecker,
+            "VL006": ExceptionHygieneChecker,
+            "VL007": ClockDisciplineChecker,
+            "VL008": DeadApiChecker,
+        }
+        for rule, cls in expected.items():
+            assert isinstance(checker_for(rule), cls)
 
 
 # ---------------------------------------------------------------------------
@@ -260,6 +315,12 @@ class TestEngine:
         with pytest.raises(FileNotFoundError):
             lint_paths([FIXTURES / "no_such_dir"])
 
+    def test_explicitly_named_non_py_file_rejected(self, tmp_path):
+        path = tmp_path / "notes.txt"
+        path.write_text("not python\n")
+        with pytest.raises(ValueError, match="must end in .py"):
+            lint_paths([path])
+
     def test_invalid_jobs_rejected(self):
         with pytest.raises(ValueError, match="at least one job"):
             lint_paths([FIXTURES], jobs=0)
@@ -327,6 +388,7 @@ class TestBaseline:
                 path="src/x.py",
                 reason="intentional wrap # really",
                 line=12,
+                lineno=2,  # the [[allow]] header's own line
             ),
         )
 
@@ -341,9 +403,284 @@ class TestBaseline:
                 'excuse = "no"\n'
             )
 
-    def test_shipped_baseline_parses_and_is_empty(self):
+    def test_shipped_baseline_holds_only_documented_vl006_debt(self):
         baseline = load_baseline(REPO / ".vlint.toml")
-        assert baseline.entries == ()
+        assert len(baseline.entries) == 2
+        assert {e.rule for e in baseline.entries} == {"VL006"}
+        for entry in baseline.entries:
+            assert "zigzag_order" in entry.reason
+            assert entry.line is not None
+
+
+# ---------------------------------------------------------------------------
+# Whole-program closure: the cross-module fixtures
+# ---------------------------------------------------------------------------
+
+
+def wp_findings(**kwargs):
+    return lint_paths([WHOLE_PROGRAM], whole_program=True, **kwargs).findings
+
+
+class TestWholeProgram:
+    def test_fixture_tree_is_quiet_per_file(self):
+        report = lint_paths([WHOLE_PROGRAM])
+        assert report.findings == [], render_text(report)
+        assert report.files_checked == 10
+
+    def test_exactly_the_seeded_findings_fire(self):
+        findings = wp_findings()
+        assert sorted(f.rule for f in findings) == [
+            "VL001", "VL002", "VL002", "VL006", "VL007", "VL008",
+        ]
+
+    def test_vl001_taint_crosses_the_call_boundary(self):
+        [f] = [f for f in wp_findings() if f.rule == "VL001"]
+        assert f.path.endswith("codec/keys.py")
+        assert "reaches cache_key() across a call boundary" in f.message
+        assert "via local 'jitter'" in f.message
+
+    def test_vl002_tracks_uint8_through_returns(self):
+        vl002 = [f for f in wp_findings() if f.rule == "VL002"]
+        cur = next(f for f in vl002 if "'cur'" in f.message)
+        ref = next(f for f in vl002 if "'ref'" in f.message)
+        assert cur.path.endswith("codec/residual_chain.py")
+        assert cur.line == ref.line
+        for f in (cur, ref):
+            assert (
+                "uint8 returned by repro.codec.planes.uint8_plane()"
+                in f.message
+            )
+
+    def test_vl006_reports_the_transitive_leak_site(self):
+        [f] = [f for f in wp_findings() if f.rule == "VL006"]
+        assert f.path.endswith("codec/bad_reader.py")
+        assert "decode path 'decode_header'" in f.message
+        assert "ValueError raised at repro.codec.depth.check_depth:11" in (
+            f.message
+        )
+
+    def test_vl007_names_the_wall_clock_chain(self):
+        [f] = [f for f in wp_findings() if f.rule == "VL007"]
+        assert f.path.endswith("traffic/bad_clock.py")
+        assert (
+            "repro.timeutil.stamp -> time.perf_counter" in f.message
+        )
+
+    def test_vl008_flags_only_the_dead_export(self):
+        [f] = [f for f in wp_findings() if f.rule == "VL008"]
+        assert f.path.endswith("deadpkg/__init__.py")
+        assert "'dead_fn'" in f.message
+        assert "used_fn" not in f.message
+
+    def test_reference_tree_keeps_exports_alive(self, tmp_path):
+        # A test file referencing dead_fn makes it count as used --
+        # reference paths contribute usage but are never linted.
+        ref = tmp_path / "test_deadpkg.py"
+        ref.write_text(
+            "from repro.deadpkg import dead_fn\n\n\n"
+            "def test_dead_fn():\n    assert dead_fn() == 2\n"
+        )
+        findings = wp_findings(reference_paths=[ref])
+        assert [f.rule for f in findings if f.rule == "VL008"] == []
+
+    def test_serial_and_parallel_whole_program_byte_identical(self):
+        serial = lint_paths([WHOLE_PROGRAM], whole_program=True)
+        parallel = lint_paths([WHOLE_PROGRAM], whole_program=True, jobs=4)
+        assert render_json(serial) == render_json(parallel)
+        assert render_text(serial) == render_text(parallel)
+
+    def test_call_graph_attached_and_resolved(self):
+        report = lint_paths([WHOLE_PROGRAM], whole_program=True)
+        graph = report.call_graph
+        assert graph is not None
+        assert "repro.traffic.bad_clock" in graph["modules"]
+        caller = graph["functions"]["repro.traffic.bad_clock.next_deadline"]
+        assert caller["calls"] == ["repro.timeutil.stamp"]
+        # Per-file runs carry no graph.
+        assert lint_paths([WHOLE_PROGRAM]).call_graph is None
+
+    def test_build_project_index_programmatic_entry(self):
+        index = build_project_index([WHOLE_PROGRAM])
+        resolved = index.graph.resolve("repro.deadpkg.used_fn")
+        assert resolved == "repro.deadpkg.impl.used_fn"
+        assert "repro.codec.planes.uint8_plane" in index.graph.functions
+
+
+# ---------------------------------------------------------------------------
+# Summary cache: content-addressed, versioned, atomic
+# ---------------------------------------------------------------------------
+
+
+class TestSummaryCache:
+    def test_cold_then_warm_byte_identical(self, tmp_path):
+        cache = tmp_path / "cache"
+        cold = lint_paths([WHOLE_PROGRAM], whole_program=True, cache_root=cache)
+        assert (cold.cache_hits, cold.cache_misses) == (0, 10)
+        warm = lint_paths([WHOLE_PROGRAM], whole_program=True, cache_root=cache)
+        assert (warm.cache_hits, warm.cache_misses) == (10, 0)
+        assert render_json(cold) == render_json(warm)
+        assert render_text(cold) == render_text(warm)
+
+    def test_source_change_invalidates_only_that_file(self, tmp_path):
+        tree = tmp_path / "tree"
+        shutil.copytree(WHOLE_PROGRAM, tree)
+        cache = tmp_path / "cache"
+        lint_paths([tree], cache_root=cache)
+        touched = tree / "src" / "repro" / "timeutil.py"
+        touched.write_text(touched.read_text() + "\n# touched\n")
+        rerun = lint_paths([tree], cache_root=cache)
+        assert (rerun.cache_hits, rerun.cache_misses) == (9, 1)
+
+    def test_key_covers_source_module_and_rules(self):
+        source = b"x = 1\n"
+        base = cache_key_for(source, "repro.m", None)
+        assert base == cache_key_for(source, "repro.m", None)
+        assert base != cache_key_for(b"x = 2\n", "repro.m", None)
+        assert base != cache_key_for(source, "repro.other", None)
+        assert base != cache_key_for(source, "repro.m", ("VL001",))
+        assert base != cache_key_for(source, "repro.m", ())
+
+    def test_store_load_roundtrip_and_corruption_eviction(self, tmp_path):
+        cache = SummaryCache(root=str(tmp_path / "c"))
+        path = WHOLE_PROGRAM / "src" / "repro" / "timeutil.py"
+        [summary] = collect_summaries([path])
+        key = cache.key_for(path.read_bytes(), summary.module, ())
+        assert cache.load(key, str(path), summary.module) is None
+        cache.store(key, [], summary)
+        loaded = cache.load(key, str(path), summary.module)
+        assert loaded is not None
+        findings, replayed = loaded
+        assert findings == []
+        assert replayed.module == summary.module
+        assert replayed.to_dict() == summary.to_dict()
+        # A corrupt entry is evicted and read as a miss, never trusted.
+        entry = tmp_path / "c" / key[:2] / f"{key}.json"
+        entry.write_text("{ not json", encoding="utf-8")
+        assert cache.load(key, str(path), summary.module) is None
+        assert cache.evictions == 1
+        assert not entry.exists()
+
+    def test_format_version_mismatch_is_a_miss(self, tmp_path):
+        cache = SummaryCache(root=str(tmp_path / "c"))
+        path = WHOLE_PROGRAM / "src" / "repro" / "timeutil.py"
+        [summary] = collect_summaries([path])
+        key = cache.key_for(path.read_bytes(), summary.module, ())
+        cache.store(key, [], summary)
+        entry = tmp_path / "c" / key[:2] / f"{key}.json"
+        payload = json.loads(entry.read_text())
+        assert payload["format"] == CACHE_FORMAT_VERSION
+        payload["format"] = CACHE_FORMAT_VERSION + 1
+        entry.write_text(json.dumps(payload), encoding="utf-8")
+        assert cache.load(key, str(path), summary.module) is None
+
+
+# ---------------------------------------------------------------------------
+# Baseline hygiene: stale entries surface, --prune-baseline removes them
+# ---------------------------------------------------------------------------
+
+STALE_TEXT = (
+    "[[allow]]\n"
+    'rule = "VL001"\n'
+    'path = "src/repro/gone.py"\n'
+    "line = 3\n"
+    'reason = "the sanctioned site was deleted long ago"\n'
+)
+
+LIVE_TEXT = (
+    "[[allow]]\n"
+    'rule = "VL008"\n'
+    'path = "src/repro/deadpkg/__init__.py"\n'
+    'reason = "kept for a downstream consumer"\n'
+)
+
+
+class TestBaselineHygiene:
+    def test_stale_entry_becomes_a_warning_on_full_runs(self, tmp_path):
+        baseline_file = tmp_path / "allow.toml"
+        baseline_file.write_text(STALE_TEXT)
+        baseline = load_baseline(baseline_file)
+        report = lint_paths(
+            [WHOLE_PROGRAM], whole_program=True, baseline=baseline
+        )
+        assert report.stale_entries == list(baseline.entries)
+        [warning] = [
+            f for f in report.findings if f.rule == STALE_BASELINE_RULE
+        ]
+        assert warning.severity is Severity.WARNING
+        assert warning.path == str(baseline_file)
+        assert "VL001 at src/repro/gone.py:3" in warning.message
+        assert "--prune-baseline" in warning.message
+
+    def test_warnings_do_not_fail_the_run(self, tmp_path):
+        clean = tmp_path / "src" / "repro" / "quiet.py"
+        clean.parent.mkdir(parents=True)
+        clean.write_text('"""Nothing to see."""\n\nVALUE = 1\n')
+        baseline_file = tmp_path / "allow.toml"
+        baseline_file.write_text(STALE_TEXT)
+        report = lint_paths(
+            [clean],
+            whole_program=True,
+            baseline=load_baseline(baseline_file),
+        )
+        assert rules_in(report.findings) == {STALE_BASELINE_RULE}
+        assert report.ok  # a stale entry warns; it never gates CI.
+
+    def test_staleness_undecidable_on_partial_runs(self, tmp_path):
+        baseline_file = tmp_path / "allow.toml"
+        baseline_file.write_text(STALE_TEXT)
+        baseline = load_baseline(baseline_file)
+        per_file = lint_paths([WHOLE_PROGRAM], baseline=baseline)
+        assert per_file.stale_entries == []
+        assert rules_in(per_file.findings) == set()
+        filtered = lint_paths(
+            [WHOLE_PROGRAM],
+            rules=["VL001"],
+            whole_program=True,
+            baseline=baseline,
+        )
+        assert filtered.stale_entries == []
+
+    def test_render_baseline_roundtrips(self):
+        entries = (
+            BaselineEntry(
+                rule="VL002", path="src/x.py", reason="wrap ok", line=9
+            ),
+            BaselineEntry(rule="VL005", path="src/y.py", reason="legacy"),
+        )
+        parsed = parse_baseline(render_baseline(entries))
+        assert [
+            (e.rule, e.path, e.line, e.reason) for e in parsed.entries
+        ] == [(e.rule, e.path, e.line, e.reason) for e in entries]
+
+    def test_prune_baseline_cli_drops_only_stale_entries(
+        self, tmp_path, capsys
+    ):
+        baseline_file = tmp_path / "allow.toml"
+        baseline_file.write_text(LIVE_TEXT + "\n" + STALE_TEXT)
+        code = main(
+            [
+                "lint",
+                "--whole-program",
+                "--no-cache",
+                "--baseline",
+                str(baseline_file),
+                "--prune-baseline",
+                str(WHOLE_PROGRAM),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pruned 1 stale entry" in out
+        kept = load_baseline(baseline_file)
+        assert len(kept.entries) == 1
+        assert kept.entries[0].rule == "VL008"
+        assert kept.entries[0].reason == "kept for a downstream consumer"
+
+    def test_prune_baseline_requires_whole_program(self, capsys):
+        assert main(
+            ["lint", "--prune-baseline", str(WHOLE_PROGRAM)]
+        ) == 2
+        assert "requires --whole-program" in capsys.readouterr().out
 
 
 # ---------------------------------------------------------------------------
@@ -357,9 +694,9 @@ class TestReporters:
         twice = render_json(lint_paths([FIXTURES], jobs=2))
         assert once == twice
         payload = json.loads(once)
-        assert payload["version"] == 1
+        assert payload["version"] == JSON_REPORT_VERSION == 1
         assert payload["ok"] is False
-        assert payload["files_checked"] == 6
+        assert payload["files_checked"] == 16
         finding = payload["findings"][0]
         assert set(finding) == {
             "rule", "path", "line", "column", "message", "severity",
@@ -373,7 +710,7 @@ class TestReporters:
         report = lint_paths([FIXTURES])
         text = render_text(report)
         assert f"{len(report.findings)} findings" in text
-        assert "in 6 files" in text
+        assert "in 16 files" in text
 
 
 # ---------------------------------------------------------------------------
@@ -387,7 +724,9 @@ class TestLintCli:
         assert "0 findings" in capsys.readouterr().out
 
     def test_nonzero_on_each_rule_fixture(self, capsys):
-        fixture_files = sorted(FIXTURES.rglob("*.py"))
+        # Only the per-file fixtures under src/: the whole_program tree
+        # is deliberately quiet without --whole-program.
+        fixture_files = sorted((FIXTURES / "src").rglob("*.py"))
         assert len(fixture_files) == 6
         for path in fixture_files:
             assert main(["lint", str(path)]) == 1, path
@@ -429,6 +768,76 @@ class TestLintCli:
         assert main(["lint", "definitely/not/a/path"]) == 2
         assert "error" in capsys.readouterr().err
 
+    def test_parser_exposes_whole_program_flags(self):
+        args = build_parser().parse_args(
+            [
+                "lint",
+                "--whole-program",
+                "--no-cache",
+                "--reference",
+                "tests",
+                "--jobs",
+                "4",
+                "x.py",
+            ]
+        )
+        assert args.whole_program is True
+        assert args.no_cache is True
+        assert args.reference == ["tests"]
+        assert args.jobs == 4
+        assert args.cache_dir == ".vlint-cache"
+
+    def test_whole_program_cli_fires_and_is_parallel_stable(
+        self, capsys
+    ):
+        base = [
+            "lint", "--json", "--no-cache", "--no-baseline",
+            "--whole-program", str(WHOLE_PROGRAM),
+        ]
+        assert main(base) == 1
+        serial = capsys.readouterr().out
+        assert main(base + ["--jobs", "4"]) == 1
+        assert capsys.readouterr().out == serial
+        payload = json.loads(serial)
+        assert sorted(f["rule"] for f in payload["findings"]) == [
+            "VL001", "VL002", "VL002", "VL006", "VL007", "VL008",
+        ]
+
+    def test_cache_dir_warm_run_identical(self, tmp_path, capsys):
+        base = [
+            "lint", "--json", "--no-baseline", "--whole-program",
+            "--cache-dir", str(tmp_path / "cache"), str(WHOLE_PROGRAM),
+        ]
+        main(base)
+        cold = capsys.readouterr().out
+        main(base)
+        assert capsys.readouterr().out == cold
+
+    def test_graph_out_requires_whole_program(self, tmp_path, capsys):
+        graph_file = tmp_path / "graph.json"
+        code = main(
+            ["lint", "--graph-out", str(graph_file), str(WHOLE_PROGRAM)]
+        )
+        assert code == 2
+        assert "requires --whole-program" in capsys.readouterr().out
+        assert not graph_file.exists()
+
+    def test_graph_out_writes_the_resolved_graph(self, tmp_path, capsys):
+        graph_file = tmp_path / "graph.json"
+        main(
+            [
+                "lint", "--whole-program", "--no-cache", "--no-baseline",
+                "--graph-out", str(graph_file), str(WHOLE_PROGRAM),
+            ]
+        )
+        capsys.readouterr()
+        graph = json.loads(graph_file.read_text())
+        assert "repro.deadpkg.impl" in graph["modules"]
+        assert (
+            graph["functions"]["repro.usedby.run"]["calls"]
+            == ["repro.deadpkg.impl.used_fn"]
+        )
+
 
 # ---------------------------------------------------------------------------
 # VL004-discovered pairs round-trip behaviourally (satellite)
@@ -448,6 +857,10 @@ def entropy_coding_pairs():
 
 class TestSymmetryRoundTrip:
     def test_discovery_finds_the_known_pairs(self):
+        assert all(
+            isinstance(pair, SymmetricPair)
+            for _, pair in entropy_coding_pairs()
+        )
         found = {
             (module, pair.class_name, pair.suffix)
             for module, pair in entropy_coding_pairs()
