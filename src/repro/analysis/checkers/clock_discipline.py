@@ -32,8 +32,11 @@ from repro.analysis.registry import Checker, register
 
 __all__ = ["ClockDisciplineChecker"]
 
-#: Module prefixes that run on simulated time only.
-SIMULATED_TIME_SCOPE = ("repro.traffic", "repro.robust.clock")
+#: Module prefixes that run on simulated time only.  ``repro.predict`` is
+#: in scope because no wall-clock value may flow into a feature, a
+#: training label, or a prediction (the committed coefficients must be
+#: reproducible byte for byte).
+SIMULATED_TIME_SCOPE = ("repro.traffic", "repro.robust.clock", "repro.predict")
 
 
 def _in_scope(module: str) -> bool:

@@ -37,6 +37,7 @@ DETERMINISTIC_PACKAGES = (
     "repro.codec",
     "repro.exec",
     "repro.fuzz",
+    "repro.predict",
     "repro.robust",
     "repro.traffic",
 )

@@ -14,6 +14,7 @@ script).  Commands:
 * ``bench``   -- benchmark the repro codec itself (BENCH_codec.json).
 * ``chaos``   -- seeded fault-injection run of the transcoding farm.
 * ``traffic`` -- simulate a request stream against the farm; print SLOs.
+* ``sched``   -- compare EWMA vs predictor scheduling (BENCH_sched.json).
 * ``fuzz``    -- deterministic structured fuzzing of the decoder.
 * ``lint``    -- the vlint static-analysis pass (VL001-VL008; add
   ``--whole-program`` for the cross-module rules).
@@ -199,6 +200,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--catalog", type=int, default=12, help="synthesized catalog titles"
     )
     traffic.add_argument(
+        "--predictor",
+        action="store_true",
+        help="schedule with the transcode-time predictor instead of EWMA",
+    )
+    traffic.add_argument(
         "--json",
         action="store_true",
         help="emit the machine-stable JSON report instead of text",
@@ -207,6 +213,51 @@ def build_parser() -> argparse.ArgumentParser:
         "--bench-out",
         metavar="FILE",
         help="also write the compact benchmark record (BENCH_traffic.json)",
+    )
+
+    sched = sub.add_parser(
+        "sched",
+        help="run both scheduling arms (EWMA, predictor) and compare them",
+    )
+    sched.add_argument("--seed", type=int, default=7)
+    sched.add_argument(
+        "--duration", type=float, default=300.0, help="arrival window, seconds"
+    )
+    sched.add_argument(
+        "--rps", type=float, default=0.8, help="aggregate steady-state arrivals/s"
+    )
+    sched.add_argument(
+        "--workers", type=int, default=5, help="autoscaler fleet ceiling"
+    )
+    sched.add_argument(
+        "--min-workers", type=int, default=0, help="fleet floor (0 = scale-to-zero)"
+    )
+    sched.add_argument(
+        "--catalog", type=int, default=48, help="synthesized catalog titles"
+    )
+    sched.add_argument(
+        "--spike-spacing",
+        type=float,
+        default=100.0,
+        help="seconds between arrival spikes",
+    )
+    sched.add_argument(
+        "--spike-duration", type=float, default=60.0, help="spike length, seconds"
+    )
+    sched.add_argument(
+        "--retrain",
+        action="store_true",
+        help="regenerate the committed predictor coefficients first",
+    )
+    sched.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the comparison record as JSON instead of text",
+    )
+    sched.add_argument(
+        "--bench-out",
+        metavar="FILE",
+        help="also write the comparison record (BENCH_sched.json)",
     )
 
     fuzz = sub.add_parser(
@@ -605,6 +656,7 @@ def _cmd_traffic(args) -> int:
             min_workers=args.min_workers, max_workers=args.workers
         ),
         catalog_size=args.catalog,
+        use_predictor=args.predictor,
     )
     report = run_traffic(config=config, seed=args.seed)
     if args.json:
@@ -617,6 +669,90 @@ def _cmd_traffic(args) -> int:
         Path(args.bench_out).write_text(
             json_module.dumps(report.bench_dict(), sort_keys=True, indent=2)
             + "\n"
+        )
+        print(f"wrote {args.bench_out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_sched(args) -> int:
+    import json as json_module
+    from pathlib import Path
+
+    from repro.traffic import (
+        ArrivalConfig,
+        AutoscalerConfig,
+        TrafficConfig,
+        run_traffic,
+        sched_bench_dict,
+    )
+
+    if args.retrain:
+        from repro.predict import train_predictor
+        from repro.predict.model import coefficients_path
+
+        predictor = train_predictor()
+        path = coefficients_path()
+        path.write_text(predictor.to_json(), encoding="utf-8")
+        print(
+            f"wrote {path} (digest {predictor.digest()[:16]})", file=sys.stderr
+        )
+
+    def build(use_predictor: bool) -> TrafficConfig:
+        return TrafficConfig(
+            arrivals=ArrivalConfig(
+                duration_s=args.duration,
+                rps=args.rps,
+                spike_spacing_s=args.spike_spacing,
+                spike_duration_s=args.spike_duration,
+            ),
+            autoscaler=AutoscalerConfig(
+                min_workers=args.min_workers, max_workers=args.workers
+            ),
+            catalog_size=args.catalog,
+            use_predictor=use_predictor,
+        )
+
+    ewma = run_traffic(config=build(False), seed=args.seed)
+    pred = run_traffic(config=build(True), seed=args.seed)
+    record = sched_bench_dict(ewma, pred)
+    if args.json:
+        print(json_module.dumps(record, sort_keys=True, indent=2))
+    else:
+        print("sched comparison (ewma vs predictor)")
+        params = record["parameters"]
+        print(
+            f"  seed={params['seed']} duration={params['duration_s']}s "
+            f"catalog={params['catalog_size']}"
+        )
+        for name in ("ewma", "predictor"):
+            arm = record["arms"][name]
+            print(f"  {name}:")
+            print(
+                f"    live deadline hits: {arm['live_deadline_hits']}"
+                f"/{arm['live_arrived']} "
+                f"(rate {arm['live_deadline_hit_rate']:.6f})"
+            )
+            print(
+                f"    live p99 e2e:       {arm['live_p99_e2e_s']:.6f}s "
+                f"mape={arm['live_prediction_mape']:.6f}"
+            )
+            print(
+                f"    slo violations:     {arm['slo_violations']} "
+                f"shed_fraction={arm['shed_fraction']:.6f}"
+            )
+            print(
+                f"    cost:               "
+                f"compute={arm['compute_hours']:.9f}h "
+                f"total=${arm['total_cost_usd']:.9f}"
+            )
+        deltas = record["deltas"]
+        print(
+            f"  deltas: hit_rate={deltas['live_hit_rate_improvement']:+.9f} "
+            f"cost=${deltas['cost_delta_usd']:+.9f}"
+        )
+    if args.bench_out:
+        Path(args.bench_out).write_text(
+            json_module.dumps(record, sort_keys=True, indent=2) + "\n"
         )
         print(f"wrote {args.bench_out}", file=sys.stderr)
     return 0
@@ -720,6 +856,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "chaos": _cmd_chaos,
     "traffic": _cmd_traffic,
+    "sched": _cmd_sched,
     "fuzz": _cmd_fuzz,
     "lint": _cmd_lint,
 }

@@ -40,6 +40,17 @@ class CostModel:
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be non-negative")
 
+    def compute_dollars(self, seconds: float) -> float:
+        """Price of ``seconds`` of transcoder compute.
+
+        The deadline scheduler uses this to break ties between
+        equal-quality operating points ("Where to Encode": pick the
+        cheapest machine that meets the deadline).
+        """
+        if seconds < 0:
+            raise ValueError(f"compute seconds must be >= 0, got {seconds}")
+        return seconds / 3600.0 * self.compute_per_hour
+
 
 @dataclass
 class CostReport:

@@ -161,6 +161,9 @@ class JobTiming:
         completed: Whether the job produced output; ``False`` means the
             whole degradation ladder failed and the job dead-lettered.
         reason: The dead-letter reason when ``completed`` is ``False``.
+        spec: Rung-0 operating point the job was started at.
+        predicted_s: Scheduler-predicted service seconds, when a
+            deadline scheduler chose ``spec`` (0.0 otherwise).
     """
 
     job: str
@@ -169,6 +172,8 @@ class JobTiming:
     finished_s: float
     completed: bool
     reason: str = ""
+    spec: str = ""
+    predicted_s: float = 0.0
 
     @property
     def service_s(self) -> float:
@@ -504,26 +509,11 @@ class TranscodeFarm:
                 self.config.hardware_fallback,
             ),
         }
+        self._memoize = memoize
         self.pool: Dict[str, Transcoder] = {}
         self.breakers: Dict[str, CircuitBreaker] = {}
         for spec in sorted(set(ladders["delivery"]) | set(ladders["popular"])):
-            backend = get_transcoder(spec)
-            if cache is not None:
-                backend = cache.wrap(backend)
-            if memoize:
-                from repro.exec.cache import MemoizingTranscoder
-
-                backend = MemoizingTranscoder(backend)
-            if self.config.time_scale != 1.0:
-                backend = ScaledTranscoder(backend, self.config.time_scale)
-            if fault_plan is not None:
-                backend = FaultyTranscoder(backend, fault_plan, key=spec)
-            self.pool[spec] = backend
-            self.breakers[spec] = CircuitBreaker(
-                failure_threshold=self.config.breaker_failure_threshold,
-                cooldown_s=self.config.breaker_cooldown_s,
-                half_open_probes=self.config.breaker_half_open_probes,
-            )
+            self._ensure_spec(spec)
         self._delivery = self._adapter(ladders["delivery"])
         self._popular = self._adapter(ladders["popular"])
         self.service = _FarmService(
@@ -538,6 +528,35 @@ class TranscodeFarm:
         self._delivery.costs = self.service.costs
         self._popular.costs = self.service.costs
         self._workers = [0.0] * self.config.workers
+        # Per-spec adapters for scheduler-chosen operating points, built
+        # lazily so the common static-spec path allocates nothing extra.
+        self._spec_adapters: Dict[str, ResilientTranscoder] = {}
+
+    def _make_backend(self, spec: str) -> Transcoder:
+        """One backend wrapped in the cache/memo/scale/fault stack."""
+        backend = get_transcoder(spec)
+        if self.cache is not None:
+            backend = self.cache.wrap(backend)
+        if self._memoize:
+            from repro.exec.cache import MemoizingTranscoder
+
+            backend = MemoizingTranscoder(backend)
+        if self.config.time_scale != 1.0:
+            backend = ScaledTranscoder(backend, self.config.time_scale)
+        if self.fault_plan is not None:
+            backend = FaultyTranscoder(backend, self.fault_plan, key=spec)
+        return backend
+
+    def _ensure_spec(self, spec: str) -> None:
+        """Admit ``spec`` (and its breaker) into the shared pool."""
+        if spec in self.pool:
+            return
+        self.pool[spec] = self._make_backend(spec)
+        self.breakers[spec] = CircuitBreaker(
+            failure_threshold=self.config.breaker_failure_threshold,
+            cooldown_s=self.config.breaker_cooldown_s,
+            half_open_probes=self.config.breaker_half_open_probes,
+        )
 
     def _adapter(self, ladder: Sequence[str]) -> ResilientTranscoder:
         return ResilientTranscoder(
@@ -549,6 +568,27 @@ class TranscodeFarm:
             report=self.report,
             config=self.config,
         )
+
+    def _job_adapter(self, spec: str) -> ResilientTranscoder:
+        """The resilient adapter whose ladder starts at ``spec``.
+
+        Shares the farm-wide pool and breakers, so a scheduler-chosen
+        rung sees the same circuit state and fault plan as the static
+        paths; only the ladder's starting rung differs.
+        """
+        adapter = self._spec_adapters.get(spec)
+        if adapter is None:
+            ladder = degradation_ladder(
+                spec,
+                self.config.preset_fallbacks,
+                self.config.hardware_fallback,
+            )
+            for rung in ladder:
+                self._ensure_spec(rung)
+            adapter = self._adapter(ladder)
+            adapter.costs = self.service.costs
+            self._spec_adapters[spec] = adapter
+        return adapter
 
     @property
     def costs(self) -> CostReport:
@@ -621,6 +661,9 @@ class TranscodeFarm:
         at_s: float,
         job: Optional[str] = None,
         rate: Optional[RateSpec] = None,
+        spec: Optional[str] = None,
+        budget_s: Optional[float] = None,
+        predicted_s: float = 0.0,
     ) -> JobTiming:
         """Run one externally-scheduled transcode starting at ``at_s``.
 
@@ -632,15 +675,32 @@ class TranscodeFarm:
         scenario's deadline budget, and the timing of whatever happened
         comes back as a :class:`JobTiming`.  A job that exhausts its
         ladder is dead-lettered, never raised.
+
+        A deadline scheduler steers the job with ``spec`` (the ladder's
+        starting rung, sharing the farm-wide pool and breakers),
+        ``budget_s`` (e.g. the *remaining* deadline budget after queue
+        wait, instead of the scenario's full budget), and
+        ``predicted_s`` (recorded on the timing for error accounting).
+        Successful compute is booked into the cost report here; wasted
+        attempts are booked inside the resilient adapter either way.
         """
         label = job if job is not None else video.name
         self.clock.seek(at_s)
         self.report.jobs_total += 1
-        adapter = self._popular if scenario is Scenario.POPULAR else self._delivery
-        adapter.set_budget(self.config.deadlines.budget_s(video, scenario))
-        spec = rate if rate is not None else self.job_rate(video, scenario)
+        if spec is not None:
+            adapter = self._job_adapter(spec)
+        else:
+            adapter = (
+                self._popular if scenario is Scenario.POPULAR else self._delivery
+            )
+        adapter.set_budget(
+            budget_s
+            if budget_s is not None
+            else self.config.deadlines.budget_s(video, scenario)
+        )
+        rate_spec = rate if rate is not None else self.job_rate(video, scenario)
         try:
-            adapter.transcode(video, spec)
+            result = adapter.transcode(video, rate_spec)
         except FarmJobError as error:
             self.report.dead_letters.append(
                 DeadLetter(job=label, stage="job", reason=error.reason)
@@ -652,7 +712,10 @@ class TranscodeFarm:
                 finished_s=self.clock.now,
                 completed=False,
                 reason=error.reason,
+                spec=adapter.ladder[0],
+                predicted_s=predicted_s,
             )
+        self.service.costs.add_compute(result.seconds)
         self.report.jobs_completed += 1
         return JobTiming(
             job=label,
@@ -660,6 +723,8 @@ class TranscodeFarm:
             started_s=at_s,
             finished_s=self.clock.now,
             completed=True,
+            spec=adapter.ladder[0],
+            predicted_s=predicted_s,
         )
 
     # -- viewing --------------------------------------------------------------

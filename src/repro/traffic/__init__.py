@@ -16,6 +16,7 @@ from repro.traffic.admission import (
     AdmissionController,
     Decision,
     ScenarioPolicy,
+    ServiceTimeEstimator,
 )
 from repro.traffic.arrivals import (
     ArrivalConfig,
@@ -31,7 +32,14 @@ from repro.traffic.autoscaler import (
     ScaleEvent,
 )
 from repro.traffic.simulator import TrafficConfig, TrafficSimulator, run_traffic
-from repro.traffic.slo import LatencySummary, ScenarioStats, SLOReport, percentile
+from repro.traffic.slo import (
+    LatencySummary,
+    PredictionStats,
+    ScenarioStats,
+    SLOReport,
+    percentile,
+    sched_bench_dict,
+)
 
 __all__ = [
     "AdmissionConfig",
@@ -40,12 +48,14 @@ __all__ = [
     "AutoscalerConfig",
     "Decision",
     "LatencySummary",
+    "PredictionStats",
     "QueueDepthAutoscaler",
     "Request",
     "SLOReport",
     "ScaleEvent",
     "ScenarioPolicy",
     "ScenarioStats",
+    "ServiceTimeEstimator",
     "SpikeWindow",
     "TrafficConfig",
     "TrafficSimulator",
@@ -54,4 +64,5 @@ __all__ = [
     "percentile",
     "rate_at",
     "run_traffic",
+    "sched_bench_dict",
 ]

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Callable, Dict, Hashable, Optional, Tuple
 
 from repro.core.scenarios import Scenario
 
@@ -34,6 +34,7 @@ __all__ = [
     "AdmissionController",
     "Decision",
     "ScenarioPolicy",
+    "ServiceTimeEstimator",
 ]
 
 #: Decision verdicts (kept as plain strings so reports render directly).
@@ -137,6 +138,72 @@ class Decision:
     @property
     def admitted(self) -> bool:
         return self.verdict == ADMIT
+
+
+class ServiceTimeEstimator:
+    """Per-class service-time estimates feeding the wait predictions.
+
+    The estimate that decides a Live fast-shed must never borrow
+    evidence from another traffic class: Upload's two-pass encodes run
+    several times longer than Live's single-pass ones, so a cross-class
+    average would shed Live sessions that were perfectly schedulable
+    (or admit doomed ones).  Estimates resolve strictly within the
+    class, in order:
+
+    1. **exact** -- this ``(scenario, key)`` has completed before; the
+       farm is deterministic, so a repeat costs what it cost last time;
+    2. **seed** -- the optional hook (the transcode-time predictor, in
+       the simulator's predictor arm), which knows this *specific* job
+       before any completion has been observed;
+    3. **per-class EWMA** -- the class's own completion history;
+    4. **prior** -- ``prior_s`` (default 0.0: deliberately optimistic,
+       so an unseeded cold start admits and learns rather than guesses
+       requests away).
+
+    Args:
+        alpha: EWMA weight of the newest observation.
+        prior_s: The documented cold-start prior.
+        seed: Optional ``(scenario, key) -> seconds`` hook consulted
+            before the EWMA; return ``None`` to decline.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.3,
+        prior_s: float = 0.0,
+        seed: Optional[Callable[[Scenario, Hashable], Optional[float]]] = None,
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if not math.isfinite(prior_s) or prior_s < 0:
+            raise ValueError(f"prior must be finite and >= 0, got {prior_s}")
+        self.alpha = alpha
+        self.prior_s = prior_s
+        self.seed = seed
+        self._known: Dict[Tuple[Scenario, Hashable], float] = {}
+        self._ewma: Dict[Scenario, float] = {}
+
+    def expected(self, scenario: Scenario, key: Hashable) -> float:
+        """Best in-class estimate for one job (see resolution order)."""
+        known = self._known.get((scenario, key))
+        if known is not None:
+            return known
+        if self.seed is not None:
+            seeded = self.seed(scenario, key)
+            if seeded is not None:
+                return seeded
+        return self._ewma.get(scenario, self.prior_s)
+
+    def observe(self, scenario: Scenario, key: Hashable, service_s: float) -> None:
+        """Fold one completed job's service time into the class state."""
+        self._known[(scenario, key)] = service_s
+        previous = self._ewma.get(scenario)
+        if previous is None:
+            self._ewma[scenario] = service_s
+        else:
+            self._ewma[scenario] = (
+                self.alpha * service_s + (1.0 - self.alpha) * previous
+            )
 
 
 class AdmissionController:

@@ -41,12 +41,28 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.core.scenarios import Scenario
 from repro.pipeline.farm import FarmConfig, JobTiming, TranscodeFarm
+from repro.pipeline.scheduler import (
+    DEFAULT_CANDIDATES,
+    DEFAULT_UPLOAD_FACTOR,
+    DeadlineScheduler,
+    ScheduleDecision,
+)
+from repro.predict.features import JobFeatures, extract_features
 from repro.robust.clock import EventQueue, SimClock
 from repro.robust.faults import FaultPlan
-from repro.traffic.admission import AdmissionConfig, AdmissionController
+from repro.traffic.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    ServiceTimeEstimator,
+)
 from repro.traffic.arrivals import ArrivalConfig, Request, generate_arrivals
 from repro.traffic.autoscaler import AutoscalerConfig, QueueDepthAutoscaler
-from repro.traffic.slo import LatencySummary, ScenarioStats, SLOReport
+from repro.traffic.slo import (
+    LatencySummary,
+    PredictionStats,
+    ScenarioStats,
+    SLOReport,
+)
 from repro.video.synthesis import synthesize
 from repro.video.video import Video
 
@@ -88,6 +104,15 @@ class TrafficConfig:
         clip_frames: Frames per stand-in clip.
         clip_fps: Frame rate; with ``clip_frames`` this sets the clip
             duration and therefore Live's real-time deadline budget.
+        use_predictor: Replace the EWMA service-time estimator with the
+            transcode-time predictor and schedule each job at the
+            highest-quality operating point whose predicted time fits
+            its remaining deadline budget (the predictor arm).  Off by
+            default: the EWMA arm is the committed baseline.
+        scheduler_candidates: Operating points the predictor arm may
+            choose among (defaults to the delivery degradation ladder).
+        upload_factor: Upload's throughput target as a multiple of
+            realtime, used by the scheduler's Upload budget.
     """
 
     arrivals: ArrivalConfig = field(default_factory=ArrivalConfig)
@@ -99,6 +124,9 @@ class TrafficConfig:
     clip_height: int = 32
     clip_frames: int = 6
     clip_fps: float = 12.0
+    use_predictor: bool = False
+    scheduler_candidates: Tuple[str, ...] = DEFAULT_CANDIDATES
+    upload_factor: float = DEFAULT_UPLOAD_FACTOR
 
     def __post_init__(self) -> None:
         if self.catalog_size < 1:
@@ -159,9 +187,27 @@ class TrafficSimulator:
         self.stats: Dict[str, ScenarioStats] = {}
         self._wait_samples: Dict[str, List[float]] = {}
         self._e2e_samples: Dict[str, List[float]] = {}
-        # Service-time estimator state for admission's wait predictions.
-        self._ewma: Dict[Scenario, float] = {}
-        self._known: Dict[Tuple[Scenario, int], float] = {}
+        self._pred_samples: Dict[str, List[Tuple[float, float]]] = {}
+        # Service-time estimation for admission's wait predictions: the
+        # EWMA arm learns only from completions; the predictor arm seeds
+        # cold starts from the committed transcode-time models.
+        self.scheduler: Optional[DeadlineScheduler] = None
+        if self.config.use_predictor:
+            self.scheduler = DeadlineScheduler(
+                candidates=self.config.scheduler_candidates,
+                cost_model=self.farm.costs.model,
+                time_scale=self.config.time_scale,
+                upload_factor=self.config.upload_factor,
+            )
+        self.estimator = ServiceTimeEstimator(
+            alpha=_EWMA_ALPHA,
+            seed=self._predicted_service_s if self.scheduler is not None else None,
+        )
+        self._features: Dict[int, JobFeatures] = {}
+        # Observed service times per (scenario, title, spec): the farm
+        # is deterministic, so these supersede model predictions for
+        # repeat jobs (known-trumps-estimated, same as the estimator).
+        self._measured: Dict[Tuple[Scenario, int, str], float] = {}
         # Capacity accounting for the utilization number.
         self._accrued_to = 0.0
         self._busy_worker_s = 0.0
@@ -198,26 +244,55 @@ class TrafficSimulator:
     def _expected_service_s(self, request: Request) -> float:
         """Best estimate of this request's service time.
 
-        Exact once this (scenario, rank) has completed before (the farm
-        is deterministic, so a repeat costs what it cost last time);
-        otherwise the scenario's EWMA; otherwise 0 — the estimator is
-        deliberately optimistic before any evidence, so the first
-        requests of a cold run are admitted rather than guessed away.
+        Delegates to the :class:`ServiceTimeEstimator`: exact once this
+        (scenario, rank) has completed before (the farm is
+        deterministic, so a repeat costs what it cost last time); then
+        the predictor (predictor arm only); then the scenario's own
+        EWMA; then the optimistic 0.0 prior, so the first requests of an
+        unseeded cold run are admitted rather than guessed away.
         """
-        known = self._known.get((request.scenario, request.rank))
-        if known is not None:
-            return known
-        return self._ewma.get(request.scenario, 0.0)
+        return self.estimator.expected(request.scenario, request.rank)
 
     def _observe_service(self, request: Request, service_s: float) -> None:
-        self._known[(request.scenario, request.rank)] = service_s
-        previous = self._ewma.get(request.scenario)
-        if previous is None:
-            self._ewma[request.scenario] = service_s
-        else:
-            self._ewma[request.scenario] = (
-                _EWMA_ALPHA * service_s + (1.0 - _EWMA_ALPHA) * previous
-            )
+        self.estimator.observe(request.scenario, request.rank, service_s)
+
+    def _features_for(self, request: Request) -> JobFeatures:
+        """Probe features of the request's title, extracted once."""
+        index = (request.rank - 1) % len(self.catalog)
+        features = self._features.get(index)
+        if features is None:
+            features = extract_features(self.catalog[index])
+            self._features[index] = features
+        return features
+
+    def _measured_for(self, request: Request) -> Dict[str, float]:
+        """Observed service times of this title at each candidate spec."""
+        index = (request.rank - 1) % len(self.catalog)
+        measured: Dict[str, float] = {}
+        for spec in self.scheduler.candidates:
+            service_s = self._measured.get((request.scenario, index, spec))
+            if service_s is not None:
+                measured[spec] = service_s
+        return measured
+
+    def _full_budget_decision(self, request: Request) -> ScheduleDecision:
+        """The scheduler's choice for this title at its full budget."""
+        video = self._video_for(request)
+        budget = self.farm.config.deadlines.budget_s(video, request.scenario)
+        return self.scheduler.choose(
+            self._features_for(request),
+            self.farm.job_rate(video, request.scenario),
+            self.scheduler.budget_for(video, request.scenario, budget),
+            measured_s=self._measured_for(request),
+        )
+
+    def _predicted_service_s(
+        self, scenario: Scenario, rank: int
+    ) -> Optional[float]:
+        """Estimator seed hook: the predicted time of the job the
+        scheduler would start for this (scenario, rank) at full budget."""
+        request = Request(rid=0, arrival_s=0.0, scenario=scenario, rank=rank)
+        return self._full_budget_decision(request).predicted_s
 
     def _expected_wait_s(self, request: Request) -> float:
         """Predicted queue wait if this request were admitted now."""
@@ -309,10 +384,29 @@ class TrafficSimulator:
             self._wait_samples[request.scenario.value].append(wait)
             video = self._video_for(request)
             budget = self.farm.config.deadlines.budget_s(video, request.scenario)
-            if (
-                request.scenario.realtime
-                and wait + self._expected_service_s(request) > budget
-            ):
+            spec: Optional[str] = None
+            budget_override: Optional[float] = None
+            if self.scheduler is not None:
+                decision = self._full_budget_decision(request)
+                if request.scenario.realtime:
+                    # Queue wait already spent part of the budget; pick
+                    # the best operating point that fits what is *left*,
+                    # and hand the farm that remaining budget so its
+                    # retry policy respects it too.
+                    remaining = max(budget - wait, 0.0)
+                    if remaining < budget:
+                        decision = self.scheduler.choose(
+                            self._features_for(request),
+                            self.farm.job_rate(video, request.scenario),
+                            remaining,
+                            measured_s=self._measured_for(request),
+                        )
+                    budget_override = remaining
+                spec = decision.spec
+                expected = decision.predicted_s
+            else:
+                expected = self._expected_service_s(request)
+            if request.scenario.realtime and wait + expected > budget:
                 # Too stale to bother: starting it now would only waste a
                 # worker on a stream that has already moved on.
                 stats.timed_out += 1
@@ -323,6 +417,9 @@ class TrafficSimulator:
                 request.scenario,
                 at_s=now,
                 job=f"req-{request.rid:06d}",
+                spec=spec,
+                budget_s=budget_override,
+                predicted_s=expected,
             )
             self.events.schedule(
                 timing.finished_s, (_COMPLETE, (item, timing, budget))
@@ -336,12 +433,26 @@ class TrafficSimulator:
         stats = self._stats_for(request.scenario)
         self.busy -= 1
         self._observe_service(request, timing.service_s)
+        if timing.spec:
+            stats.scheduled_specs[timing.spec] = (
+                stats.scheduled_specs.get(timing.spec, 0) + 1
+            )
+            if timing.completed:
+                index = (request.rank - 1) % len(self.catalog)
+                self._measured[(request.scenario, index, timing.spec)] = (
+                    timing.service_s
+                )
         if timing.completed:
             stats.completed += 1
+            self._pred_samples.setdefault(request.scenario.value, []).append(
+                (timing.predicted_s, timing.service_s)
+            )
             e2e = now - request.arrival_s
             self._e2e_samples[request.scenario.value].append(e2e)
             if e2e > budget:
                 stats.slo_violations += 1
+            else:
+                stats.deadline_hits += 1
         else:
             stats.dead_lettered += 1
         self._dispatch(now)
@@ -365,6 +476,9 @@ class TrafficSimulator:
         for name, stats in self.stats.items():
             stats.queue_wait = LatencySummary.from_samples(self._wait_samples[name])
             stats.e2e = LatencySummary.from_samples(self._e2e_samples[name])
+            stats.prediction = PredictionStats.from_samples(
+                self._pred_samples.get(name, [])
+            )
         utilization = (
             self._busy_worker_s / self._capacity_s if self._capacity_s > 0 else 0.0
         )
@@ -380,6 +494,9 @@ class TrafficSimulator:
             utilization=utilization,
             busy_worker_s=self._busy_worker_s,
             catalog_size=self.config.catalog_size,
+            predictor_enabled=self.scheduler is not None,
+            compute_hours=self.farm.costs.compute_hours,
+            total_cost_usd=self.farm.costs.total_cost,
         )
 
 

@@ -27,9 +27,11 @@ from repro.traffic.autoscaler import ScaleEvent
 
 __all__ = [
     "LatencySummary",
+    "PredictionStats",
     "SLOReport",
     "ScenarioStats",
     "percentile",
+    "sched_bench_dict",
 ]
 
 #: Fixed scenario ordering for all renderings.
@@ -99,6 +101,65 @@ class LatencySummary:
         }
 
 
+@dataclass(frozen=True)
+class PredictionStats:
+    """How well service-time estimates matched what jobs actually cost.
+
+    Both simulator arms produce these: the EWMA arm grades its
+    estimator, the predictor arm grades the committed coefficients, so
+    ``BENCH_sched.json`` can compare them on equal footing.
+
+    Attributes:
+        count: Completed jobs with a recorded (estimate, actual) pair.
+        mape: Mean absolute percentage error of the estimates.
+        p99_overrun_s: p99 of ``actual - estimate`` where positive --
+            how badly under-estimates blow a deadline plan.
+        p99_underrun_s: p99 of ``estimate - actual`` where positive --
+            capacity an over-estimate would needlessly shed.
+    """
+
+    count: int = 0
+    mape: float = 0.0
+    p99_overrun_s: float = 0.0
+    p99_underrun_s: float = 0.0
+
+    @classmethod
+    def from_samples(
+        cls, samples: Sequence[Sequence[float]]
+    ) -> "PredictionStats":
+        """Reduce ``(estimate_s, actual_s)`` pairs to the summary."""
+        if not samples:
+            return cls()
+        errors = [
+            abs(predicted - actual) / actual
+            for predicted, actual in samples
+            if actual > 0.0
+        ]
+        overruns = [max(actual - predicted, 0.0) for predicted, actual in samples]
+        underruns = [max(predicted - actual, 0.0) for predicted, actual in samples]
+        return cls(
+            count=len(samples),
+            mape=sum(errors) / len(errors) if errors else 0.0,
+            p99_overrun_s=percentile(overruns, 99.0),
+            p99_underrun_s=percentile(underruns, 99.0),
+        )
+
+    def to_line(self) -> str:
+        return (
+            f"n={self.count} mape={self.mape:.6f} "
+            f"p99_overrun={self.p99_overrun_s:.6f}s "
+            f"p99_underrun={self.p99_underrun_s:.6f}s"
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "mape": round(self.mape, _JSON_DECIMALS),
+            "p99_overrun_s": round(self.p99_overrun_s, _JSON_DECIMALS),
+            "p99_underrun_s": round(self.p99_underrun_s, _JSON_DECIMALS),
+        }
+
+
 @dataclass
 class ScenarioStats:
     """One traffic class's ledger.
@@ -121,8 +182,23 @@ class ScenarioStats:
     dead_lettered: int = 0
     backpressure_retries: int = 0
     slo_violations: int = 0
+    deadline_hits: int = 0
     queue_wait: LatencySummary = field(default_factory=LatencySummary)
     e2e: LatencySummary = field(default_factory=LatencySummary)
+    prediction: PredictionStats = field(default_factory=PredictionStats)
+    scheduled_specs: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def deadline_hit_rate(self) -> float:
+        """Arrivals that completed inside their deadline budget.
+
+        Normalized by *arrivals*, not completions: a shed or timed-out
+        request is a missed deadline from the client's point of view,
+        so admission decisions cannot launder the rate.
+        """
+        if self.arrived == 0:
+            return 0.0
+        return self.deadline_hits / self.arrived
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -136,8 +212,15 @@ class ScenarioStats:
             "dead_lettered": self.dead_lettered,
             "backpressure_retries": self.backpressure_retries,
             "slo_violations": self.slo_violations,
+            "deadline_hits": self.deadline_hits,
+            "deadline_hit_rate": round(self.deadline_hit_rate, _JSON_DECIMALS),
             "queue_wait": self.queue_wait.as_dict(),
             "e2e": self.e2e.as_dict(),
+            "prediction": self.prediction.as_dict(),
+            "scheduled_specs": {
+                spec: self.scheduled_specs[spec]
+                for spec in sorted(self.scheduled_specs)
+            },
         }
 
 
@@ -161,6 +244,9 @@ class SLOReport:
     utilization: float = 0.0
     busy_worker_s: float = 0.0
     catalog_size: int = 0
+    predictor_enabled: bool = False
+    compute_hours: float = 0.0
+    total_cost_usd: float = 0.0
 
     # -- aggregates -----------------------------------------------------------
 
@@ -236,6 +322,10 @@ class SLOReport:
             f"peak={self.peak_workers} utilization={self.utilization:.6f} "
             f"busy={self.busy_worker_s:.6f}s",
             f"  catalog:         {self.catalog_size} titles",
+            f"  scheduler:       "
+            f"{'predictor' if self.predictor_enabled else 'ewma'}",
+            f"  cost:            compute={self.compute_hours:.9f}h "
+            f"total=${self.total_cost_usd:.9f}",
         ]
         for stats in self._ordered():
             lines.append(f"  {stats.scenario}:")
@@ -252,6 +342,17 @@ class SLOReport:
             lines.append(f"    queue wait:      {stats.queue_wait.to_line()}")
             lines.append(f"    end-to-end:      {stats.e2e.to_line()}")
             lines.append(f"    slo violations:  {stats.slo_violations}")
+            lines.append(
+                f"    deadline hits:   {stats.deadline_hits} "
+                f"(rate {stats.deadline_hit_rate:.6f})"
+            )
+            lines.append(f"    prediction:      {stats.prediction.to_line()}")
+            if stats.scheduled_specs:
+                rendered = " ".join(
+                    f"{spec}={stats.scheduled_specs[spec]}"
+                    for spec in sorted(stats.scheduled_specs)
+                )
+                lines.append(f"    scheduled specs: {rendered}")
         lines.append(f"  autoscaler events ({len(self.scale_events)}):")
         for event in self.scale_events:
             lines.append(f"    {event.to_line()}")
@@ -259,8 +360,11 @@ class SLOReport:
 
     def as_dict(self) -> Dict[str, object]:
         return {
-            "version": 1,
+            "version": 2,
             "seed": self.seed,
+            "predictor_enabled": self.predictor_enabled,
+            "compute_hours": round(self.compute_hours, _JSON_DECIMALS),
+            "total_cost_usd": round(self.total_cost_usd, _JSON_DECIMALS),
             "duration_s": round(self.duration_s, _JSON_DECIMALS),
             "makespan_s": round(self.makespan_s, _JSON_DECIMALS),
             "arrived": self.arrived,
@@ -312,13 +416,14 @@ class SLOReport:
         live = self.scenarios.get("live")
         return {
             "name": "traffic-slo",
-            "version": 1,
+            "version": 2,
             "parameters": {
                 "seed": self.seed,
                 "duration_s": round(self.duration_s, _JSON_DECIMALS),
                 "catalog_size": self.catalog_size,
                 "max_workers": self.max_workers,
                 "min_workers": self.min_workers,
+                "predictor": self.predictor_enabled,
             },
             "metrics": {
                 "throughput_rps": round(self.completed_rps, _JSON_DECIMALS),
@@ -328,7 +433,71 @@ class SLOReport:
                 "live_p99_e2e_s": round(
                     live.e2e.p99_s if live else 0.0, _JSON_DECIMALS
                 ),
+                "live_deadline_hit_rate": round(
+                    live.deadline_hit_rate if live else 0.0, _JSON_DECIMALS
+                ),
+                "live_prediction_mape": round(
+                    live.prediction.mape if live else 0.0, _JSON_DECIMALS
+                ),
                 "slo_violations": self.slo_violations,
+                "total_cost_usd": round(self.total_cost_usd, _JSON_DECIMALS),
             },
             "digest": self.digest(),
         }
+
+
+def sched_bench_dict(ewma: SLOReport, predictor: SLOReport) -> Dict[str, object]:
+    """The ``BENCH_sched.json`` record: both scheduling arms, one seed.
+
+    CI pins this file byte-for-byte and additionally asserts the deltas:
+    the predictor arm must hit at least as many Live deadlines as the
+    EWMA arm at equal or lower total cost (the acceptance criterion of
+    the deadline-aware-scheduling work).
+    """
+    if ewma.seed != predictor.seed or ewma.duration_s != predictor.duration_s:
+        raise ValueError(
+            "sched comparison needs both arms at the same seed and duration"
+        )
+
+    def arm(report: SLOReport) -> Dict[str, object]:
+        live = report.scenarios.get("live")
+        return {
+            "live_deadline_hit_rate": round(
+                live.deadline_hit_rate if live else 0.0, _JSON_DECIMALS
+            ),
+            "live_deadline_hits": live.deadline_hits if live else 0,
+            "live_arrived": live.arrived if live else 0,
+            "live_p99_e2e_s": round(
+                live.e2e.p99_s if live else 0.0, _JSON_DECIMALS
+            ),
+            "live_prediction_mape": round(
+                live.prediction.mape if live else 0.0, _JSON_DECIMALS
+            ),
+            "shed_fraction": round(report.shed_fraction, _JSON_DECIMALS),
+            "slo_violations": report.slo_violations,
+            "compute_hours": round(report.compute_hours, _JSON_DECIMALS),
+            "total_cost_usd": round(report.total_cost_usd, _JSON_DECIMALS),
+            "digest": report.digest(),
+        }
+
+    ewma_live = ewma.scenarios.get("live")
+    pred_live = predictor.scenarios.get("live")
+    hit_delta = (pred_live.deadline_hit_rate if pred_live else 0.0) - (
+        ewma_live.deadline_hit_rate if ewma_live else 0.0
+    )
+    return {
+        "name": "sched-compare",
+        "version": 1,
+        "parameters": {
+            "seed": ewma.seed,
+            "duration_s": round(ewma.duration_s, _JSON_DECIMALS),
+            "catalog_size": ewma.catalog_size,
+        },
+        "arms": {"ewma": arm(ewma), "predictor": arm(predictor)},
+        "deltas": {
+            "live_hit_rate_improvement": round(hit_delta, _JSON_DECIMALS),
+            "cost_delta_usd": round(
+                predictor.total_cost_usd - ewma.total_cost_usd, _JSON_DECIMALS
+            ),
+        },
+    }

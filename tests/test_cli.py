@@ -188,3 +188,37 @@ class TestTraffic:
     def test_invalid_duration_exits_2(self, capsys):
         assert main(["traffic", "--duration", "0"]) == 2
         assert "error" in capsys.readouterr().err
+
+    def test_predictor_flag_flips_the_scheduler(self, capsys):
+        assert main(self.ARGS + ["--predictor"]) == 0
+        assert "scheduler:       predictor" in capsys.readouterr().out
+        assert main(self.ARGS) == 0
+        assert "scheduler:       ewma" in capsys.readouterr().out
+
+
+class TestSched:
+    # A deliberately small profile: the defaults (catalog 48, 300 s) are
+    # the committed-benchmark stress shape and belong to tools/ci_smoke.
+    ARGS = ["sched", "--seed", "7", "--duration", "60", "--rps", "0.5",
+            "--catalog", "6", "--workers", "3", "--spike-spacing", "30"]
+
+    def test_compares_both_arms(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "sched comparison" in out
+        assert "ewma:" in out
+        assert "predictor:" in out
+        assert "deltas:" in out
+
+    def test_bench_record_written(self, tmp_path, capsys):
+        bench = tmp_path / "BENCH_sched.json"
+        assert main(self.ARGS + ["--json", "--bench-out", str(bench)]) == 0
+        captured = capsys.readouterr()
+        assert "wrote" in captured.err
+        import json
+
+        record = json.loads(bench.read_text())
+        assert record == json.loads(captured.out)
+        assert record["name"] == "sched-compare"
+        assert set(record["arms"]) == {"ewma", "predictor"}
+        assert record["parameters"]["seed"] == 7
