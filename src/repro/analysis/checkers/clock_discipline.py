@@ -1,9 +1,12 @@
 """VL007: clock discipline -- simulated-time code never touches the wall.
 
-The traffic simulator (:mod:`repro.traffic`) and its event clock
-(:mod:`repro.robust.clock`) are *simulated time*: every timestamp comes
-from :class:`~repro.robust.clock.SimClock`, which is what makes a
-million-request SLO run replayable byte-for-byte from a seed.  One
+The traffic simulator (:mod:`repro.traffic`, fleet chaos included --
+lease expiry, hedge delays, and outage schedules in
+:mod:`repro.traffic.fleet` are all closed forms over simulated time) and
+its event clock (:mod:`repro.robust.clock`) are *simulated time*: every
+timestamp comes from :class:`~repro.robust.clock.SimClock`, which is
+what makes a million-request SLO run replayable byte-for-byte from a
+seed.  One
 ``time.time()`` -- or one call into a helper that reads the wall clock
 three modules away -- silently couples the simulation to the host and
 the replay guarantee is gone, without any test necessarily failing.

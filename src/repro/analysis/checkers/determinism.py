@@ -4,7 +4,8 @@ The benchmark's scoring contract (byte-identical parallel/cached reports,
 replayable chaos runs) only holds if the encode path is a pure function of
 its inputs.  Inside the deterministic packages (``repro.bench``,
 ``repro.codec``, ``repro.exec``, ``repro.fuzz``, ``repro.robust``,
-``repro.traffic``) this rule bans:
+``repro.traffic`` -- which covers the fleet chaos layer, whose worker
+fault streams must derive from the plan seed) this rule bans:
 
 * ``np.random.default_rng()`` called without a seed;
 * draws from the global ``random`` module (``random.random()``,

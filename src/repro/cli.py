@@ -205,6 +205,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="schedule with the transcode-time predictor instead of EWMA",
     )
     traffic.add_argument(
+        "--chaos",
+        metavar="PROFILE",
+        help=(
+            "inject fleet faults from a named profile (crashes, spot, "
+            "outage, full) and compare no-chaos vs naive vs recovery arms"
+        ),
+    )
+    traffic.add_argument(
         "--json",
         action="store_true",
         help="emit the machine-stable JSON report instead of text",
@@ -658,6 +666,8 @@ def _cmd_traffic(args) -> int:
         catalog_size=args.catalog,
         use_predictor=args.predictor,
     )
+    if args.chaos:
+        return _run_chaos_compare(args, config)
     report = run_traffic(config=config, seed=args.seed)
     if args.json:
         print(report.to_json())
@@ -669,6 +679,87 @@ def _cmd_traffic(args) -> int:
         Path(args.bench_out).write_text(
             json_module.dumps(report.bench_dict(), sort_keys=True, indent=2)
             + "\n"
+        )
+        print(f"wrote {args.bench_out}", file=sys.stderr)
+    return 0
+
+
+def _run_chaos_compare(args, config) -> int:
+    """Three-arm chaos comparison: no-chaos, naive recovery, full recovery."""
+    import dataclasses
+    import json as json_module
+    from pathlib import Path
+
+    from repro.traffic import (
+        NAIVE_POLICY,
+        RECOVERY_POLICY,
+        chaos_bench_dict,
+        resolve_profile,
+        run_traffic,
+    )
+
+    plan = resolve_profile(args.chaos, args.seed)
+    baseline = run_traffic(config=config, seed=args.seed)
+    naive = run_traffic(
+        config=dataclasses.replace(
+            config,
+            fleet=plan,
+            recovery=NAIVE_POLICY,
+            chaos_profile=args.chaos,
+        ),
+        seed=args.seed,
+    )
+    recovery = run_traffic(
+        config=dataclasses.replace(
+            config,
+            fleet=plan,
+            recovery=RECOVERY_POLICY,
+            chaos_profile=args.chaos,
+        ),
+        seed=args.seed,
+    )
+    record = chaos_bench_dict(args.chaos, baseline, naive, recovery)
+    if args.json:
+        print(json_module.dumps(record, sort_keys=True, indent=2))
+    else:
+        params = record["parameters"]
+        print(f"chaos comparison (profile={args.chaos})")
+        print(
+            f"  seed={params['seed']} duration={params['duration_s']}s "
+            f"catalog={params['catalog_size']}"
+        )
+        for name in ("baseline", "naive", "recovery"):
+            arm = record["arms"][name]
+            print(f"  {name}:")
+            print(
+                f"    deadline hit rate:  {arm['deadline_hit_rate']:.6f} "
+                f"({arm['completed']}/{arm['arrived']} completed, "
+                f"{arm['dead_lettered']} dead-lettered)"
+            )
+            print(
+                f"    availability:       {arm['availability']:.6f} "
+                f"(workers lost {arm['workers_lost']}, "
+                f"ttr p99 {arm['ttr_p99_s']:.3f}s)"
+            )
+            print(
+                f"    recovery activity:  interruptions={arm['interruptions']} "
+                f"redeliveries={arm['redeliveries']} "
+                f"hedge_wins={arm['hedge_wins']}"
+            )
+            print(
+                f"    cost:               total=${arm['total_cost_usd']:.9f} "
+                f"wasted=${arm['wasted_cost_usd']:.9f}"
+            )
+        deltas = record["deltas"]
+        print(
+            "  deltas: "
+            f"hit_rate_recovery_vs_naive={deltas['hit_rate_recovery_vs_naive']:+.9f} "
+            f"availability={deltas['availability_recovery_vs_naive']:+.9f} "
+            f"cost=${deltas['cost_recovery_vs_naive_usd']:+.9f}"
+        )
+    if args.bench_out:
+        Path(args.bench_out).write_text(
+            json_module.dumps(record, sort_keys=True, indent=2) + "\n"
         )
         print(f"wrote {args.bench_out}", file=sys.stderr)
     return 0

@@ -141,7 +141,7 @@ class DeadLetter:
     """A job the farm gave up on, with enough context to replay it."""
 
     job: str
-    stage: str  # "upload", "promote", or "job"
+    stage: str  # "upload", "promote", "job", or "fleet"
     reason: str
 
 
@@ -725,6 +725,19 @@ class TranscodeFarm:
             completed=True,
             spec=adapter.ladder[0],
             predicted_s=predicted_s,
+        )
+
+    def dead_letter(self, job: str, stage: str, reason: str) -> None:
+        """File a dead letter for a job the layer *above* gave up on.
+
+        The fleet layer uses this when a request exhausts its redelivery
+        budget: the farm never saw the final attempt fail (the worker
+        died silently), but the dead-letter queue is the single place
+        replayable failures live, so the give-up is recorded here with
+        ``stage="fleet"`` and the attempt metadata in ``reason``.
+        """
+        self.report.dead_letters.append(
+            DeadLetter(job=job, stage=stage, reason=reason)
         )
 
     # -- viewing --------------------------------------------------------------

@@ -201,3 +201,31 @@ class DeadlineScheduler:
                 key=lambda d: (-d.quality_rank, d.cost_usd, d.spec),
             )
         return min(scored, key=lambda d: (d.predicted_s, d.spec))
+
+    def choose_remaining(
+        self,
+        features: JobFeatures,
+        rate: RateSpec,
+        budget_s: float,
+        elapsed_s: float,
+        measured_s: Optional[Mapping[str, float]] = None,
+    ) -> ScheduleDecision:
+        """Re-plan a redelivered job against what is *left* of its budget.
+
+        A crashed worker's job comes back with its deadline clock still
+        running: the wait it already served plus the wasted attempt are
+        sunk, so the re-dispatch must fit ``budget_s - elapsed_s``.  When
+        nothing fits (including a fully spent budget), :meth:`choose`
+        degrades to the fastest rung — the least-late option for a job
+        we still owe an answer on.
+        """
+        if not math.isfinite(elapsed_s) or elapsed_s < 0:
+            raise ValueError(
+                f"elapsed time must be finite and >= 0, got {elapsed_s}"
+            )
+        return self.choose(
+            features,
+            rate,
+            max(budget_s - elapsed_s, 0.0),
+            measured_s=measured_s,
+        )

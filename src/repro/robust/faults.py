@@ -23,6 +23,11 @@ physical, not flagged: the output video's luma is inverted (or its
 re-encoded bitstream's bits really are flipped and re-decoded), so the
 caller's ``quality_db`` really does collapse and detection has to happen
 the way production detects it — by measuring.
+
+This module injects faults per transcode *call*; its fleet-level
+counterpart is :mod:`repro.traffic.fleet`, where whole workers crash,
+straggle, get preempted, or die in correlated outages under the traffic
+simulator — same seeded-substream idiom, one level up the stack.
 """
 
 from __future__ import annotations

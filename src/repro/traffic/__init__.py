@@ -9,6 +9,12 @@ queue-depth autoscaler (:mod:`~repro.traffic.autoscaler`), and every
 request lifecycle is accounted in a byte-stable
 :class:`~repro.traffic.slo.SLOReport`
 (:mod:`~repro.traffic.simulator` owns the event loop).
+
+Fleet-level chaos lives in :mod:`~repro.traffic.fleet`: per-worker fault
+processes (crashes, stragglers, spot preemption, correlated outages) and
+the recovery policy (leases, bounded redelivery, hedged dispatch,
+graceful drain) that the simulator runs when a
+:class:`~repro.traffic.fleet.FleetFaultPlan` is configured.
 """
 
 from repro.traffic.admission import (
@@ -31,12 +37,26 @@ from repro.traffic.autoscaler import (
     QueueDepthAutoscaler,
     ScaleEvent,
 )
+from repro.traffic.fleet import (
+    CHAOS_PROFILES,
+    NAIVE_POLICY,
+    RECOVERY_POLICY,
+    FleetFaultPlan,
+    FleetState,
+    OutageWindow,
+    RecoveryPolicy,
+    Worker,
+    generate_outages,
+    resolve_profile,
+)
 from repro.traffic.simulator import TrafficConfig, TrafficSimulator, run_traffic
 from repro.traffic.slo import (
+    FleetStats,
     LatencySummary,
     PredictionStats,
     ScenarioStats,
     SLOReport,
+    chaos_bench_dict,
     percentile,
     sched_bench_dict,
 )
@@ -46,10 +66,18 @@ __all__ = [
     "AdmissionController",
     "ArrivalConfig",
     "AutoscalerConfig",
+    "CHAOS_PROFILES",
     "Decision",
+    "FleetFaultPlan",
+    "FleetState",
+    "FleetStats",
     "LatencySummary",
+    "NAIVE_POLICY",
+    "OutageWindow",
     "PredictionStats",
     "QueueDepthAutoscaler",
+    "RECOVERY_POLICY",
+    "RecoveryPolicy",
     "Request",
     "SLOReport",
     "ScaleEvent",
@@ -59,10 +87,14 @@ __all__ = [
     "SpikeWindow",
     "TrafficConfig",
     "TrafficSimulator",
+    "Worker",
+    "chaos_bench_dict",
     "generate_arrivals",
+    "generate_outages",
     "generate_spikes",
     "percentile",
     "rate_at",
+    "resolve_profile",
     "run_traffic",
     "sched_bench_dict",
 ]

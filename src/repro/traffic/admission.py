@@ -160,6 +160,12 @@ class ServiceTimeEstimator:
        so an unseeded cold start admits and learns rather than guesses
        requests away).
 
+    Under fleet chaos, callers must feed :meth:`observe` only
+    *successful first-attempt* service times: a straggler's 20x run or
+    a crashed attempt's partial time would contaminate the EWMA and
+    shed admissible work for the rest of the run (the simulator gates
+    on exactly this; see ``TestEstimatorCleanliness``).
+
     Args:
         alpha: EWMA weight of the newest observation.
         prior_s: The documented cold-start prior.

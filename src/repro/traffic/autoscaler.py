@@ -16,6 +16,13 @@ fleet.  This module reproduces that control loop over simulated time:
 
 Like everything in this layer it is deterministic: decisions are pure
 functions of observed ``(now, depth, busy)``.
+
+Under fleet chaos (:mod:`repro.traffic.fleet`) the controller's target
+is *reconciled* against replicas that can actually die: the simulator
+compares the target to believed capacity (a silently-dead worker still
+counts until its lease expires), spawns replacements with a cold-start
+delay, and on scale-down retires idle replicas but only ever *drains*
+busy ones — a replica with an in-flight job is never reclaimed.
 """
 
 from __future__ import annotations

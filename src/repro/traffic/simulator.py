@@ -13,16 +13,29 @@ fleet.  Every request lifecycle —
 
 — lands in an :class:`~repro.traffic.slo.SLOReport`.
 
+With a :class:`~repro.traffic.fleet.FleetFaultPlan` configured, the
+replicas themselves become unreliable (:mod:`repro.traffic.fleet`):
+workers crash mid-job, straggle, get spot-preempted with notice, or die
+together in correlated-outage windows.  The simulator then runs the
+recovery machinery — lease-based failure detection (a crashed worker's
+job is only redelivered once its lease expires), bounded redelivery
+feeding the dead-letter queue, hedged dispatch for stragglers past a
+p99-based hedge delay (first completion wins, the loser's compute is
+booked as waste), graceful drain on preemption notice, and replacement
+of dead replicas with cold-start delay — and accounts it all in the
+report's :class:`~repro.traffic.slo.FleetStats`.
+
 Determinism is the design constraint everything else bends around.  The
 loop runs on two clocks: the **event clock** only moves forward
 (:meth:`SimClock.advance_to`), popping events from an :class:`EventQueue`
 in ``(when, sequence)`` order, while the **farm clock** is seeked to each
 job's dispatch time exactly as the farm does for its own workers.  All
-randomness lives in the arrival schedule's seeded substreams; admission,
-scaling, and dispatch are pure functions of observed state.  Two runs
-with the same seed and config therefore produce byte-identical reports —
-which is what turns "the farm survived the spike" from an anecdote into
-a regression test.
+randomness lives in seeded substreams — the arrival schedule's, and
+under chaos each worker's own fault stream — while admission, scaling,
+detection, hedging, and dispatch are pure functions of observed state.
+Two runs with the same seed and config therefore produce byte-identical
+reports — which is what turns "the farm survived the spike" from an
+anecdote into a regression test.
 
 Time scaling: the suite's clips are tiny stand-ins, so their modeled
 transcode times are milliseconds — no arrival rate a laptop can simulate
@@ -57,11 +70,24 @@ from repro.traffic.admission import (
 )
 from repro.traffic.arrivals import ArrivalConfig, Request, generate_arrivals
 from repro.traffic.autoscaler import AutoscalerConfig, QueueDepthAutoscaler
+from repro.traffic.fleet import (
+    BUSY,
+    COLD,
+    DEAD,
+    RETIRED,
+    FleetFaultPlan,
+    FleetState,
+    RecoveryPolicy,
+    Worker,
+    generate_outages,
+)
 from repro.traffic.slo import (
+    FleetStats,
     LatencySummary,
     PredictionStats,
     ScenarioStats,
     SLOReport,
+    percentile,
 )
 from repro.video.synthesis import synthesize
 from repro.video.video import Video
@@ -85,6 +111,13 @@ _EWMA_ALPHA = 0.3
 _ARRIVAL = "arrival"
 _COMPLETE = "complete"
 _TICK = "tick"
+_DEATH = "death"  # a worker crashes silently mid-job
+_DETECT = "detect"  # a silent death's lease expires
+_PREEMPT = "preempt"  # spot preemption notice
+_PREEMPT_KILL = "preempt-kill"  # the preemption actually lands
+_READY = "ready"  # a cold-started worker comes online
+_HEDGE = "hedge"  # a job ran past its hedge delay
+_OUTAGE = "outage"  # a correlated outage window opens
 
 
 @dataclass(frozen=True)
@@ -113,6 +146,15 @@ class TrafficConfig:
             choose among (defaults to the delivery degradation ladder).
         upload_factor: Upload's throughput target as a multiple of
             realtime, used by the scheduler's Upload budget.
+        fleet: The fleet fault plan, or ``None`` for ideal workers.
+            With no plan, every chaos code path is dormant and the
+            simulation replays exactly as it did before the fleet layer
+            existed.
+        recovery: How failures are handled when ``fleet`` is set
+            (:data:`~repro.traffic.fleet.NAIVE_POLICY` turns it all
+            off for the naive comparison arm).
+        chaos_profile: Label recorded in the report (the CLI sets it to
+            the ``--chaos`` profile name).
     """
 
     arrivals: ArrivalConfig = field(default_factory=ArrivalConfig)
@@ -127,6 +169,9 @@ class TrafficConfig:
     use_predictor: bool = False
     scheduler_candidates: Tuple[str, ...] = DEFAULT_CANDIDATES
     upload_factor: float = DEFAULT_UPLOAD_FACTOR
+    fleet: Optional[FleetFaultPlan] = None
+    recovery: RecoveryPolicy = field(default_factory=RecoveryPolicy)
+    chaos_profile: str = ""
 
     def __post_init__(self) -> None:
         if self.catalog_size < 1:
@@ -143,12 +188,46 @@ class TrafficConfig:
             raise ValueError(f"clip fps must be positive, got {self.clip_fps}")
 
 
-@dataclass(frozen=True)
-class _Queued:
-    """One admitted request waiting for a worker."""
+@dataclass
+class _Job:
+    """One admitted request's journey, across however many deliveries.
+
+    The terminal-state partition hangs off ``done``: every admitted job
+    flips it exactly once (completed, dead-lettered, or timed out at a
+    stale re-dispatch), no matter how many attempts chaos costs it.
+    """
 
     request: Request
     enqueued_s: float
+    budget_s: float
+    deliveries: int = 0
+    done: bool = False
+    queued: bool = True
+    pending_detects: int = 0
+    attempts: List["_Attempt"] = field(default_factory=list)
+
+    def live_attempts(self) -> List["_Attempt"]:
+        return [a for a in self.attempts if not a.resolved]
+
+
+@dataclass
+class _Attempt:
+    """One dispatch of a job onto one worker."""
+
+    aid: int
+    job: _Job
+    wid: int  # -1 when the ideal (no-plan) fleet runs it
+    timing: JobTiming
+    started_s: float
+    delivery: int
+    is_hedge: bool = False
+    stretched: bool = False
+    crashed: bool = False
+    drain_protected: bool = False
+    resolved: bool = False
+    spec: Optional[str] = None
+    budget_override: Optional[float] = None
+    expected_s: float = 0.0
 
 
 class TrafficSimulator:
@@ -156,10 +235,12 @@ class TrafficSimulator:
 
     Args:
         config: The experiment parameters.
-        seed: Root seed; arrivals, spikes, ranks, and catalog content are
-            all derived from substreams of it.
-        fault_plan: Optional chaos to inject under the traffic (the
-            robustness stack runs either way).
+        seed: Root seed; arrivals, spikes, ranks, catalog content, and
+            (under chaos) every worker's fault stream are all derived
+            from substreams of it.
+        fault_plan: Optional per-call chaos to inject under the traffic
+            (the robustness stack runs either way).  Fleet-level chaos
+            is configured via :attr:`TrafficConfig.fleet` instead.
     """
 
     def __init__(
@@ -180,14 +261,29 @@ class TrafficSimulator:
         ]
         self.admission = AdmissionController(self.config.admission)
         self.scaler = QueueDepthAutoscaler(self.config.autoscaler)
+        self.fleet = FleetState(self.config.fleet, self.config.recovery)
+        self.policy = self.fleet.policy
         self.clock = SimClock()  # The global event clock; only moves forward.
         self.events = EventQueue()
-        self.queue: Deque[_Queued] = deque()
-        self.busy = 0
+        self.queue: Deque[_Job] = deque()
+        self.busy = 0  # in-flight attempts (== busy workers under chaos)
         self.stats: Dict[str, ScenarioStats] = {}
         self._wait_samples: Dict[str, List[float]] = {}
         self._e2e_samples: Dict[str, List[float]] = {}
         self._pred_samples: Dict[str, List[Tuple[float, float]]] = {}
+        # Clean first-delivery service times per scenario: the sample
+        # pool the p99 hedge delay derives from.
+        self._service_samples: Dict[str, List[float]] = {}
+        self._attempts: Dict[int, _Attempt] = {}
+        self._next_aid = 0
+        # Fleet-level counters folded into FleetStats at finalize.
+        self._interruptions = 0
+        self._redeliveries = 0
+        self._redelivery_dead_letters = 0
+        self._hedges_launched = 0
+        self._hedge_wins = 0
+        self._hedge_cancelled = 0
+        self._outage_count = 0
         # Service-time estimation for admission's wait predictions: the
         # EWMA arm learns only from completions; the predictor arm seeds
         # cold starts from the committed transcode-time models.
@@ -234,6 +330,7 @@ class TrafficSimulator:
             self.stats[name] = ScenarioStats(scenario=name)
             self._wait_samples[name] = []
             self._e2e_samples[name] = []
+            self._service_samples[name] = []
         return self.stats[name]
 
     def _video_for(self, request: Request) -> Video:
@@ -305,6 +402,21 @@ class TrafficSimulator:
             wait += self.config.autoscaler.poll_interval_s
         return wait
 
+    def _hedge_delay_s(self, scenario: Scenario) -> Optional[float]:
+        """How long a job may run before a duplicate is raced, or None.
+
+        Pure in the run's own history: the nearest-rank p99 of the
+        scenario's *clean* first-delivery service times, scaled by the
+        policy multiplier.  Until enough samples exist the hedge stays
+        disarmed — better no hedge than one calibrated on noise.
+        """
+        if not self.policy.hedge_enabled:
+            return None
+        samples = self._service_samples.get(scenario.value, [])
+        if len(samples) < self.policy.hedge_min_samples:
+            return None
+        return percentile(samples, 99.0) * self.policy.hedge_p99_multiplier
+
     # -- the event loop -------------------------------------------------------
 
     def run(self) -> SLOReport:
@@ -318,6 +430,11 @@ class TrafficSimulator:
         for request in requests:
             self._stats_for(request.scenario).arrived += 1
             self.events.schedule(request.arrival_s, (_ARRIVAL, (request, 1)))
+        if self.fleet.chaos:
+            for window in generate_outages(
+                self.config.fleet, self.config.arrivals.duration_s
+            ):
+                self.events.schedule(window.at_s, (_OUTAGE, window))
         while self.events:
             when, (kind, payload) = self.events.pop()
             self._accrue(when)
@@ -331,12 +448,28 @@ class TrafficSimulator:
                 self._handle_complete(now, payload)
             elif kind == _TICK:
                 self._handle_tick(now)
+            elif kind == _DEATH:
+                self._handle_death(now, payload)
+            elif kind == _DETECT:
+                self._handle_detect(now, payload)
+            elif kind == _PREEMPT:
+                self._handle_preempt(now, payload)
+            elif kind == _PREEMPT_KILL:
+                self._handle_preempt_kill(now, payload)
+            elif kind == _READY:
+                self._handle_ready(now, payload)
+            elif kind == _HEDGE:
+                self._handle_hedge(now, payload)
+            elif kind == _OUTAGE:
+                self._handle_outage(now, payload)
             else:  # pragma: no cover - the loop schedules only known kinds
                 raise RuntimeError(f"unknown event kind {kind!r}")
         return self._finalize()
 
     def _accrue(self, until: float) -> None:
         """Integrate busy/capacity worker-seconds up to ``until``."""
+        if self.fleet.chaos:
+            self.fleet.accrue(until, self.scaler.active)
         dt = until - self._accrued_to
         if dt <= 0:
             return
@@ -360,7 +493,9 @@ class TrafficSimulator:
         )
         if decision.admitted:
             stats.admitted += 1
-            self.queue.append(_Queued(request=request, enqueued_s=now))
+            self.queue.append(
+                _Job(request=request, enqueued_s=now, budget_s=budget)
+            )
             self._dispatch(now)
         elif decision.verdict == "retry":
             stats.backpressure_retries += 1
@@ -374,21 +509,36 @@ class TrafficSimulator:
             else:
                 stats.shed_queue_full += 1
 
+    # -- dispatch -------------------------------------------------------------
+
+    def _worker_available(self) -> bool:
+        if self.fleet.chaos:
+            return self.fleet.idle_worker() is not None
+        return self.busy < self.scaler.active
+
     def _dispatch(self, now: float) -> None:
         """Start queued jobs while free workers exist."""
-        while self.queue and self.busy < self.scaler.active:
-            item = self.queue.popleft()
-            request = item.request
-            stats = self._stats_for(request.scenario)
-            wait = now - item.enqueued_s
-            self._wait_samples[request.scenario.value].append(wait)
-            video = self._video_for(request)
-            budget = self.farm.config.deadlines.budget_s(video, request.scenario)
-            spec: Optional[str] = None
-            budget_override: Optional[float] = None
-            if self.scheduler is not None:
-                decision = self._full_budget_decision(request)
-                if request.scenario.realtime:
+        while self.queue and self._worker_available():
+            job = self.queue.popleft()
+            job.queued = False
+            self._start_delivery(now, job)
+
+    def _start_delivery(self, now: float, job: _Job) -> None:
+        """Dispatch the job's next delivery, or time it out as stale."""
+        request = job.request
+        stats = self._stats_for(request.scenario)
+        wait = now - job.enqueued_s
+        elapsed = now - request.arrival_s
+        delivery = job.deliveries + 1
+        self._wait_samples[request.scenario.value].append(wait)
+        video = self._video_for(request)
+        budget = job.budget_s
+        spec: Optional[str] = None
+        budget_override: Optional[float] = None
+        if self.scheduler is not None:
+            decision = self._full_budget_decision(request)
+            if request.scenario.realtime:
+                if delivery == 1:
                     # Queue wait already spent part of the budget; pick
                     # the best operating point that fits what is *left*,
                     # and hand the farm that remaining budget so its
@@ -402,63 +552,366 @@ class TrafficSimulator:
                             measured_s=self._measured_for(request),
                         )
                     budget_override = remaining
-                spec = decision.spec
-                expected = decision.predicted_s
-            else:
-                expected = self._expected_service_s(request)
-            if request.scenario.realtime and wait + expected > budget:
-                # Too stale to bother: starting it now would only waste a
-                # worker on a stream that has already moved on.
-                stats.timed_out += 1
-                continue
-            self.busy += 1
-            timing = self.farm.execute_job(
-                video,
-                request.scenario,
-                at_s=now,
-                job=f"req-{request.rid:06d}",
-                spec=spec,
-                budget_s=budget_override,
-                predicted_s=expected,
-            )
+                else:
+                    # A redelivery's deadline clock never stopped: the
+                    # wait already served and the wasted attempt are
+                    # sunk, so re-plan against what is left (falling
+                    # back to the fastest rung when nothing fits).
+                    decision = self.scheduler.choose_remaining(
+                        self._features_for(request),
+                        self.farm.job_rate(video, request.scenario),
+                        budget,
+                        elapsed,
+                        measured_s=self._measured_for(request),
+                    )
+                    budget_override = max(budget - elapsed, 0.0)
+            spec = decision.spec
+            expected = decision.predicted_s
+        else:
+            expected = self._expected_service_s(request)
+        staleness = wait if delivery == 1 else elapsed
+        if request.scenario.realtime and staleness + expected > budget:
+            # Too stale to bother: starting it now would only waste a
+            # worker on a stream that has already moved on.
+            stats.timed_out += 1
+            job.done = True
+            return
+        self._launch(
+            now,
+            job,
+            delivery,
+            spec=spec,
+            budget_override=budget_override,
+            expected=expected,
+            is_hedge=False,
+        )
+
+    def _launch(
+        self,
+        now: float,
+        job: _Job,
+        delivery: int,
+        spec: Optional[str],
+        budget_override: Optional[float],
+        expected: float,
+        is_hedge: bool,
+    ) -> None:
+        """Run one attempt on a worker and schedule its outcome."""
+        request = job.request
+        video = self._video_for(request)
+        worker: Optional[Worker] = None
+        wid = -1
+        if self.fleet.chaos:
+            worker = self.fleet.idle_worker()
+            if worker is None:  # pragma: no cover - callers check first
+                raise RuntimeError("dispatched with no idle worker")
+            wid = worker.wid
+        self.busy += 1
+        timing = self.farm.execute_job(
+            video,
+            request.scenario,
+            at_s=now,
+            job=f"req-{request.rid:06d}",
+            spec=spec,
+            budget_s=budget_override,
+            predicted_s=expected,
+        )
+        aid = self._next_aid
+        self._next_aid += 1
+        attempt = _Attempt(
+            aid=aid,
+            job=job,
+            wid=wid,
+            timing=timing,
+            started_s=now,
+            delivery=delivery,
+            is_hedge=is_hedge,
+            spec=spec,
+            budget_override=budget_override,
+            expected_s=expected,
+        )
+        self._attempts[aid] = attempt
+        job.attempts.append(attempt)
+        job.deliveries += 1
+        if worker is not None:
+            self.fleet.assign(worker, aid)
+            fault = self.fleet.draw_fault(worker, timing.service_s)
+        else:
+            fault = None
+        if fault is not None and fault.kind == "crash" and timing.completed:
+            # The worker dies partway through; nothing completes, nobody
+            # notices until the lease expires.
+            attempt.crashed = True
             self.events.schedule(
-                timing.finished_s, (_COMPLETE, (item, timing, budget))
+                now + fault.crash_after_s, (_DEATH, (wid, aid))
+            )
+        elif fault is not None and fault.kind == "straggle":
+            attempt.stretched = True
+            self.events.schedule(
+                now + timing.service_s * fault.factor, (_COMPLETE, aid)
+            )
+        else:
+            self.events.schedule(timing.finished_s, (_COMPLETE, aid))
+        if self.fleet.chaos and not is_hedge:
+            delay = self._hedge_delay_s(request.scenario)
+            if delay is not None:
+                self.events.schedule(now + delay, (_HEDGE, aid))
+
+    # -- attempt resolution ---------------------------------------------------
+
+    def _release_worker(self, attempt: _Attempt) -> None:
+        if not self.fleet.chaos or attempt.wid < 0:
+            return
+        worker = self.fleet.workers.get(attempt.wid)
+        if (
+            worker is not None
+            and worker.state == BUSY
+            and worker.attempt_id == attempt.aid
+        ):
+            self.fleet.release(worker)
+
+    def _cancel_attempt(self, attempt: _Attempt, now: float) -> None:
+        """A racing duplicate lost: free its worker, book the waste."""
+        attempt.resolved = True
+        self.busy -= 1
+        self._hedge_cancelled += 1
+        self._stats_for(attempt.job.request.scenario).hedge_cancelled += 1
+        self.fleet.book_waste(now - attempt.started_s)
+        self._release_worker(attempt)
+
+    def _interrupt(
+        self, now: float, aid: int, silent: bool, worker: Worker
+    ) -> None:
+        """The environment killed the worker under this attempt.
+
+        ``silent`` deaths (crashes, outages, unheeded preemptions) wait
+        out the lease before the job is eligible for redelivery;
+        anticipated ones (a drained preemption) redeliver immediately.
+        """
+        attempt = self._attempts[aid]
+        if attempt.resolved:  # pragma: no cover - kills resolve first
+            return
+        attempt.resolved = True
+        self.busy -= 1
+        self._interruptions += 1
+        self.fleet.book_waste(now - attempt.started_s)
+        job = attempt.job
+        if silent:
+            if not job.done:
+                job.pending_detects += 1
+            self.events.schedule(
+                self.policy.detection_s(worker.ready_s, now),
+                (_DETECT, (worker.wid, aid if not job.done else None)),
+            )
+        elif not job.done:
+            self._redeliver_or_dead_letter(now, job)
+
+    def _redeliver_or_dead_letter(self, now: float, job: _Job) -> None:
+        """Bounded redelivery: re-queue the job or give up on it."""
+        stats = self._stats_for(job.request.scenario)
+        if job.deliveries < self.policy.max_deliveries:
+            stats.redelivered += 1
+            self._redeliveries += 1
+            job.enqueued_s = now
+            job.queued = True
+            self.queue.append(job)
+            self._dispatch(now)
+        else:
+            job.done = True
+            stats.dead_lettered += 1
+            self._redelivery_dead_letters += 1
+            self.farm.dead_letter(
+                f"req-{job.request.rid:06d}",
+                "fleet",
+                f"redelivery-exhausted after {job.deliveries} deliveries",
             )
 
-    def _handle_complete(
-        self, now: float, payload: Tuple[_Queued, JobTiming, float]
-    ) -> None:
-        item, timing, budget = payload
-        request = item.request
+    def _handle_complete(self, now: float, aid: int) -> None:
+        attempt = self._attempts[aid]
+        if attempt.resolved:
+            return  # cancelled loser or interrupted attempt; already booked
+        job = attempt.job
+        request = job.request
         stats = self._stats_for(request.scenario)
+        attempt.resolved = True
         self.busy -= 1
-        self._observe_service(request, timing.service_s)
+        self._release_worker(attempt)
+        timing = attempt.timing
+        clean = timing.completed and not attempt.stretched
+        first = attempt.delivery == 1 and not attempt.is_hedge
+        if clean and first:
+            # Only successful first-delivery runs teach the estimator
+            # and the hedge-delay pool: a crashed, stretched, or hedged
+            # duplicate's time says nothing about a healthy service.
+            self._observe_service(request, timing.service_s)
+            self._service_samples[request.scenario.value].append(
+                timing.service_s
+            )
         if timing.spec:
             stats.scheduled_specs[timing.spec] = (
                 stats.scheduled_specs.get(timing.spec, 0) + 1
             )
-            if timing.completed:
+            if clean:
                 index = (request.rank - 1) % len(self.catalog)
                 self._measured[(request.scenario, index, timing.spec)] = (
                     timing.service_s
                 )
+        job.done = True
         if timing.completed:
             stats.completed += 1
+            experienced = now - attempt.started_s
             self._pred_samples.setdefault(request.scenario.value, []).append(
-                (timing.predicted_s, timing.service_s)
+                (timing.predicted_s, experienced)
             )
             e2e = now - request.arrival_s
             self._e2e_samples[request.scenario.value].append(e2e)
-            if e2e > budget:
+            if e2e > job.budget_s:
                 stats.slo_violations += 1
             else:
                 stats.deadline_hits += 1
+            if attempt.is_hedge:
+                self._hedge_wins += 1
+            if attempt.drain_protected:
+                stats.preempted_drained += 1
         else:
             stats.dead_lettered += 1
+        for loser in job.live_attempts():
+            self._cancel_attempt(loser, now)
         self._dispatch(now)
+
+    # -- fleet events ---------------------------------------------------------
+
+    def _reconcile(self, now: float) -> None:
+        """Move the fleet toward the autoscaler target, never reclaiming
+        a busy replica (the scale-down invariant; audited in CI)."""
+        if not self.fleet.chaos:
+            return
+        for worker in self.fleet.reconcile(now, self.scaler.active):
+            if worker.state == COLD:
+                self.events.schedule(worker.ready_s, (_READY, worker.wid))
+            if (
+                worker.preempt_at_s is not None
+                and worker.preempt_at_s <= self.config.arrivals.duration_s
+            ):
+                # Fault processes are active during the arrival window;
+                # a preemption drawn past it never fires, so the drain
+                # phase terminates.
+                self.events.schedule(
+                    worker.preempt_at_s, (_PREEMPT, worker.wid)
+                )
+
+    def _handle_death(self, now: float, payload: Tuple[int, int]) -> None:
+        wid, aid = payload
+        worker = self.fleet.workers[wid]
+        attempt = self._attempts[aid]
+        if (
+            attempt.resolved
+            or worker.state != BUSY
+            or worker.attempt_id != aid
+        ):
+            # The attempt was hedged away or the worker already died of
+            # something else; the drawn crash has nothing left to kill.
+            return
+        self.fleet.kill(worker, now, "crash")
+        self._interrupt(now, aid, silent=True, worker=worker)
+
+    def _handle_detect(
+        self, now: float, payload: Tuple[int, Optional[int]]
+    ) -> None:
+        wid, aid = payload
+        self.fleet.mark_detected(self.fleet.workers[wid])
+        if self.policy.replace_on_detect:
+            # Detection is also when the fleet learns the replica is
+            # gone: spawn the replacement now instead of waiting for the
+            # autoscaler's next poll.
+            self._reconcile(now)
+        if aid is None:
+            return  # an idle replica died; no job to redeliver
+        job = self._attempts[aid].job
+        job.pending_detects -= 1
+        if job.done or job.queued or job.live_attempts():
+            return  # someone else (a hedge, usually) already owns it
+        self._redeliver_or_dead_letter(now, job)
+
+    def _handle_preempt(self, now: float, wid: int) -> None:
+        worker = self.fleet.workers[wid]
+        if worker.state in (DEAD, RETIRED):
+            return
+        if self.policy.drain_on_preempt:
+            worker.preempt_notified = True
+            if worker.attempt_id is not None:
+                self._attempts[worker.attempt_id].drain_protected = True
+            # Capacity just shrank by one serving replica; replace it
+            # proactively so the cold start overlaps the notice window.
+            self._reconcile(now)
+        self.events.schedule(
+            now + self.config.fleet.preempt_notice_s, (_PREEMPT_KILL, wid)
+        )
+
+    def _handle_preempt_kill(self, now: float, wid: int) -> None:
+        worker = self.fleet.workers[wid]
+        if worker.state in (DEAD, RETIRED):
+            return  # drained out (or died of something else) in time
+        aid = worker.attempt_id
+        anticipated = self.policy.drain_on_preempt
+        self.fleet.kill(worker, now, "preempt", anticipated=anticipated)
+        if aid is not None:
+            self._interrupt(now, aid, silent=not anticipated, worker=worker)
+        elif not anticipated:
+            # An idle replica vanished without notice being heeded; the
+            # control plane only learns at lease expiry.
+            self.events.schedule(
+                self.policy.detection_s(worker.ready_s, now),
+                (_DETECT, (wid, None)),
+            )
+
+    def _handle_ready(self, now: float, wid: int) -> None:
+        self.fleet.mark_ready(self.fleet.workers[wid])
+        self._dispatch(now)
+
+    def _handle_hedge(self, now: float, aid: int) -> None:
+        attempt = self._attempts[aid]
+        job = attempt.job
+        if attempt.resolved or job.done:
+            return
+        if job.deliveries >= self.policy.max_deliveries:
+            return  # a duplicate is a delivery too; respect the bound
+        worker = self.fleet.idle_worker()
+        if worker is None:
+            return  # never queue-jump real work for a hedge
+        self._hedges_launched += 1
+        self._launch(
+            now,
+            job,
+            job.deliveries + 1,
+            spec=attempt.spec,
+            budget_override=attempt.budget_override,
+            expected=attempt.expected_s,
+            is_hedge=True,
+        )
+
+    def _handle_outage(self, now: float, window) -> None:
+        self._outage_count += 1
+        for worker in self.fleet.domain_members(window.domain):
+            aid = worker.attempt_id
+            self.fleet.kill(worker, now, "outage")
+            if aid is not None:
+                self._interrupt(now, aid, silent=True, worker=worker)
+            else:
+                # Idle and cold replicas die too; each is detected by
+                # its own lease, because the outage itself is silent.
+                # A replica killed mid-boot "dies" at its would-be
+                # registration time — its absence is noticeable only
+                # once it should have heartbeat at all.
+                died = max(now, worker.ready_s)
+                self.events.schedule(
+                    self.policy.detection_s(worker.ready_s, died),
+                    (_DETECT, (worker.wid, None)),
+                )
 
     def _handle_tick(self, now: float) -> None:
         self.scaler.evaluate(now, depth=len(self.queue), busy=self.busy)
+        self._reconcile(now)
         self._dispatch(now)
         next_tick = now + self.config.autoscaler.poll_interval_s
         if (
@@ -482,6 +935,31 @@ class TrafficSimulator:
         utilization = (
             self._busy_worker_s / self._capacity_s if self._capacity_s > 0 else 0.0
         )
+        fleet_stats: Optional[FleetStats] = None
+        if self.fleet.chaos:
+            fleet_stats = FleetStats(
+                workers_spawned=self.fleet.spawned,
+                workers_lost=self.fleet.lost,
+                crashes=self.fleet.crashes,
+                preemptions=self.fleet.preemptions,
+                outage_kills=self.fleet.outage_kills,
+                outages=self._outage_count,
+                interruptions=self._interruptions,
+                redeliveries=self._redeliveries,
+                redelivery_dead_letters=self._redelivery_dead_letters,
+                hedges_launched=self._hedges_launched,
+                hedge_wins=self._hedge_wins,
+                hedge_cancelled=self._hedge_cancelled,
+                reclaimed_busy=self.fleet.reclaimed_busy,
+                availability=self.fleet.availability,
+                time_to_recover=LatencySummary.from_samples(
+                    self.fleet.ttr_samples
+                ),
+                wasted_compute_s=self.fleet.wasted_compute_s,
+                wasted_cost_usd=self.farm.costs.model.compute_dollars(
+                    self.fleet.wasted_compute_s
+                ),
+            )
         return SLOReport(
             seed=self.seed,
             duration_s=self.config.arrivals.duration_s,
@@ -497,6 +975,8 @@ class TrafficSimulator:
             predictor_enabled=self.scheduler is not None,
             compute_hours=self.farm.costs.compute_hours,
             total_cost_usd=self.farm.costs.total_cost,
+            chaos_profile=self.config.chaos_profile,
+            fleet=fleet_stats,
         )
 
 

@@ -21,15 +21,17 @@ import hashlib
 import json
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.traffic.autoscaler import ScaleEvent
 
 __all__ = [
+    "FleetStats",
     "LatencySummary",
     "PredictionStats",
     "SLOReport",
     "ScenarioStats",
+    "chaos_bench_dict",
     "percentile",
     "sched_bench_dict",
 ]
@@ -160,6 +162,76 @@ class PredictionStats:
         }
 
 
+@dataclass(frozen=True)
+class FleetStats:
+    """What chaos did to the fleet, and what recovery bought back.
+
+    Produced by the simulator from
+    :class:`repro.traffic.fleet.FleetState`; all-zero (``availability``
+    1.0) when no fault plan is configured.  ``reclaimed_busy`` is an
+    audit counter for the graceful scale-down invariant — a replica
+    with an in-flight job must never be reclaimed — and any nonzero
+    value is a bug, asserted on in CI.
+    """
+
+    workers_spawned: int = 0
+    workers_lost: int = 0
+    crashes: int = 0
+    preemptions: int = 0
+    outage_kills: int = 0
+    outages: int = 0
+    interruptions: int = 0
+    redeliveries: int = 0
+    redelivery_dead_letters: int = 0
+    hedges_launched: int = 0
+    hedge_wins: int = 0
+    hedge_cancelled: int = 0
+    reclaimed_busy: int = 0
+    availability: float = 1.0
+    time_to_recover: LatencySummary = field(default_factory=LatencySummary)
+    wasted_compute_s: float = 0.0
+    wasted_cost_usd: float = 0.0
+
+    def to_lines(self) -> List[str]:
+        return [
+            f"    workers:         spawned={self.workers_spawned} "
+            f"lost={self.workers_lost} (crash={self.crashes} "
+            f"preempt={self.preemptions} outage={self.outage_kills}) "
+            f"outages={self.outages}",
+            f"    recovery:        interruptions={self.interruptions} "
+            f"redeliveries={self.redeliveries} "
+            f"redelivery-dead-letters={self.redelivery_dead_letters}",
+            f"    hedging:         launched={self.hedges_launched} "
+            f"wins={self.hedge_wins} cancelled={self.hedge_cancelled}",
+            f"    availability:    {self.availability:.6f} "
+            f"(reclaimed-busy={self.reclaimed_busy})",
+            f"    time-to-recover: {self.time_to_recover.to_line()}",
+            f"    waste:           compute={self.wasted_compute_s:.6f}s "
+            f"cost=${self.wasted_cost_usd:.9f}",
+        ]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "workers_spawned": self.workers_spawned,
+            "workers_lost": self.workers_lost,
+            "crashes": self.crashes,
+            "preemptions": self.preemptions,
+            "outage_kills": self.outage_kills,
+            "outages": self.outages,
+            "interruptions": self.interruptions,
+            "redeliveries": self.redeliveries,
+            "redelivery_dead_letters": self.redelivery_dead_letters,
+            "hedges_launched": self.hedges_launched,
+            "hedge_wins": self.hedge_wins,
+            "hedge_cancelled": self.hedge_cancelled,
+            "reclaimed_busy": self.reclaimed_busy,
+            "availability": round(self.availability, _JSON_DECIMALS),
+            "time_to_recover": self.time_to_recover.as_dict(),
+            "wasted_compute_s": round(self.wasted_compute_s, _JSON_DECIMALS),
+            "wasted_cost_usd": round(self.wasted_cost_usd, _JSON_DECIMALS),
+        }
+
+
 @dataclass
 class ScenarioStats:
     """One traffic class's ledger.
@@ -168,7 +240,10 @@ class ScenarioStats:
     logical request show up in ``backpressure_retries`` instead.  The
     terminal states partition ``arrived``:
     ``completed + shed + timed_out + dead_lettered == arrived`` once the
-    run has drained.
+    run has drained.  The chaos counters (``redelivered``,
+    ``hedge_cancelled``, ``preempted_drained``) describe *journeys*, not
+    destinations — a redelivered request still terminates in exactly one
+    of the four buckets — so the partition holds under chaos unchanged.
     """
 
     scenario: str
@@ -183,6 +258,9 @@ class ScenarioStats:
     backpressure_retries: int = 0
     slo_violations: int = 0
     deadline_hits: int = 0
+    redelivered: int = 0
+    hedge_cancelled: int = 0
+    preempted_drained: int = 0
     queue_wait: LatencySummary = field(default_factory=LatencySummary)
     e2e: LatencySummary = field(default_factory=LatencySummary)
     prediction: PredictionStats = field(default_factory=PredictionStats)
@@ -214,6 +292,9 @@ class ScenarioStats:
             "slo_violations": self.slo_violations,
             "deadline_hits": self.deadline_hits,
             "deadline_hit_rate": round(self.deadline_hit_rate, _JSON_DECIMALS),
+            "redelivered": self.redelivered,
+            "hedge_cancelled": self.hedge_cancelled,
+            "preempted_drained": self.preempted_drained,
             "queue_wait": self.queue_wait.as_dict(),
             "e2e": self.e2e.as_dict(),
             "prediction": self.prediction.as_dict(),
@@ -247,6 +328,8 @@ class SLOReport:
     predictor_enabled: bool = False
     compute_hours: float = 0.0
     total_cost_usd: float = 0.0
+    chaos_profile: str = ""
+    fleet: Optional[FleetStats] = None
 
     # -- aggregates -----------------------------------------------------------
 
@@ -292,6 +375,17 @@ class SLOReport:
             return 0.0
         return (self.shed + self.timed_out) / self.arrived
 
+    @property
+    def deadline_hit_rate(self) -> float:
+        """All-scenario deadline hits per arrival — the chaos headline.
+
+        Like the per-scenario rate, normalized by arrivals so losing
+        requests to crashes or sheds cannot launder the number.
+        """
+        if self.arrived == 0:
+            return 0.0
+        return self._total("deadline_hits") / self.arrived
+
     # -- renderings -----------------------------------------------------------
 
     def _ordered(self) -> List[ScenarioStats]:
@@ -327,6 +421,14 @@ class SLOReport:
             f"  cost:            compute={self.compute_hours:.9f}h "
             f"total=${self.total_cost_usd:.9f}",
         ]
+        if self.fleet is not None:
+            lines.append(
+                f"  chaos:           "
+                f"profile={self.chaos_profile or 'custom'} "
+                f"hit-rate={self.deadline_hit_rate:.6f}"
+            )
+            lines.append("  fleet:")
+            lines.extend(self.fleet.to_lines())
         for stats in self._ordered():
             lines.append(f"  {stats.scenario}:")
             lines.append(
@@ -347,6 +449,12 @@ class SLOReport:
                 f"(rate {stats.deadline_hit_rate:.6f})"
             )
             lines.append(f"    prediction:      {stats.prediction.to_line()}")
+            if self.fleet is not None:
+                lines.append(
+                    f"    chaos:           redelivered={stats.redelivered} "
+                    f"hedge-cancelled={stats.hedge_cancelled} "
+                    f"preempted-drained={stats.preempted_drained}"
+                )
             if stats.scheduled_specs:
                 rendered = " ".join(
                     f"{spec}={stats.scheduled_specs[spec]}"
@@ -360,8 +468,11 @@ class SLOReport:
 
     def as_dict(self) -> Dict[str, object]:
         return {
-            "version": 2,
+            "version": 3,
             "seed": self.seed,
+            "chaos_profile": self.chaos_profile,
+            "deadline_hit_rate": round(self.deadline_hit_rate, _JSON_DECIMALS),
+            "fleet": self.fleet.as_dict() if self.fleet is not None else None,
             "predictor_enabled": self.predictor_enabled,
             "compute_hours": round(self.compute_hours, _JSON_DECIMALS),
             "total_cost_usd": round(self.total_cost_usd, _JSON_DECIMALS),
@@ -416,7 +527,7 @@ class SLOReport:
         live = self.scenarios.get("live")
         return {
             "name": "traffic-slo",
-            "version": 2,
+            "version": 3,
             "parameters": {
                 "seed": self.seed,
                 "duration_s": round(self.duration_s, _JSON_DECIMALS),
@@ -441,6 +552,10 @@ class SLOReport:
                 ),
                 "slo_violations": self.slo_violations,
                 "total_cost_usd": round(self.total_cost_usd, _JSON_DECIMALS),
+                "availability": round(
+                    self.fleet.availability if self.fleet else 1.0,
+                    _JSON_DECIMALS,
+                ),
             },
             "digest": self.digest(),
         }
@@ -498,6 +613,90 @@ def sched_bench_dict(ewma: SLOReport, predictor: SLOReport) -> Dict[str, object]
             "live_hit_rate_improvement": round(hit_delta, _JSON_DECIMALS),
             "cost_delta_usd": round(
                 predictor.total_cost_usd - ewma.total_cost_usd, _JSON_DECIMALS
+            ),
+        },
+    }
+
+
+def chaos_bench_dict(
+    profile: str,
+    baseline: SLOReport,
+    naive: SLOReport,
+    recovery: SLOReport,
+) -> Dict[str, object]:
+    """The ``BENCH_chaos.json`` record: one chaos profile, three arms.
+
+    ``baseline`` is the fault-free run, ``naive`` the same faults with
+    no handling (single delivery, no hedge, ignored preemption notices,
+    replacement only at the next autoscaler poll), ``recovery`` the full
+    policy.  CI pins the file byte-for-byte and asserts the deltas: the
+    recovery arm must beat the naive arm on deadline-hit rate *and*
+    availability, at a bounded extra compute cost.
+    """
+    arms = {"baseline": baseline, "naive": naive, "recovery": recovery}
+    seeds = {report.seed for report in arms.values()}
+    durations = {report.duration_s for report in arms.values()}
+    if len(seeds) != 1 or len(durations) != 1:
+        raise ValueError(
+            "chaos comparison needs all arms at the same seed and duration"
+        )
+
+    def arm(report: SLOReport) -> Dict[str, object]:
+        fleet = report.fleet or FleetStats()
+        return {
+            "deadline_hit_rate": round(
+                report.deadline_hit_rate, _JSON_DECIMALS
+            ),
+            "arrived": report.arrived,
+            "completed": report.completed,
+            "dead_lettered": report.dead_lettered,
+            "availability": round(fleet.availability, _JSON_DECIMALS),
+            "interruptions": fleet.interruptions,
+            "redeliveries": fleet.redeliveries,
+            "hedge_wins": fleet.hedge_wins,
+            "hedge_cancelled": fleet.hedge_cancelled,
+            "workers_lost": fleet.workers_lost,
+            "reclaimed_busy": fleet.reclaimed_busy,
+            "ttr_p99_s": round(
+                fleet.time_to_recover.p99_s, _JSON_DECIMALS
+            ),
+            "wasted_cost_usd": round(fleet.wasted_cost_usd, _JSON_DECIMALS),
+            "total_cost_usd": round(report.total_cost_usd, _JSON_DECIMALS),
+            "digest": report.digest(),
+        }
+
+    naive_fleet = naive.fleet or FleetStats()
+    recovery_fleet = recovery.fleet or FleetStats()
+    return {
+        "name": "chaos-compare",
+        "version": 1,
+        "parameters": {
+            "profile": profile,
+            "seed": baseline.seed,
+            "duration_s": round(baseline.duration_s, _JSON_DECIMALS),
+            "catalog_size": baseline.catalog_size,
+        },
+        "arms": {
+            "baseline": arm(baseline),
+            "naive": arm(naive),
+            "recovery": arm(recovery),
+        },
+        "deltas": {
+            "hit_rate_recovery_vs_naive": round(
+                recovery.deadline_hit_rate - naive.deadline_hit_rate,
+                _JSON_DECIMALS,
+            ),
+            "availability_recovery_vs_naive": round(
+                recovery_fleet.availability - naive_fleet.availability,
+                _JSON_DECIMALS,
+            ),
+            "cost_recovery_vs_naive_usd": round(
+                recovery.total_cost_usd - naive.total_cost_usd,
+                _JSON_DECIMALS,
+            ),
+            "hit_rate_chaos_cost": round(
+                baseline.deadline_hit_rate - recovery.deadline_hit_rate,
+                _JSON_DECIMALS,
             ),
         },
     }

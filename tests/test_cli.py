@@ -196,6 +196,42 @@ class TestTraffic:
         assert "scheduler:       ewma" in capsys.readouterr().out
 
 
+class TestChaosTraffic:
+    # Small chaotic profile; the committed-benchmark shape ("full" at
+    # 300 s) is ci_smoke's to pin.
+    ARGS = ["traffic", "--chaos", "crashes", "--seed", "7", "--duration",
+            "90", "--rps", "0.8", "--catalog", "6"]
+
+    def test_compares_all_three_arms(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "chaos comparison (profile=crashes)" in out
+        assert "baseline:" in out
+        assert "naive:" in out
+        assert "recovery:" in out
+        assert "deltas:" in out
+
+    def test_bench_record_written(self, tmp_path, capsys):
+        bench = tmp_path / "BENCH_chaos.json"
+        assert main(self.ARGS + ["--json", "--bench-out", str(bench)]) == 0
+        captured = capsys.readouterr()
+        assert "wrote" in captured.err
+        import json
+
+        record = json.loads(bench.read_text())
+        assert record == json.loads(captured.out)
+        assert record["name"] == "chaos-compare"
+        assert set(record["arms"]) == {"baseline", "naive", "recovery"}
+        assert record["parameters"]["profile"] == "crashes"
+        assert record["arms"]["baseline"]["availability"] == 1.0
+
+    def test_unknown_profile_exits_2(self, capsys):
+        assert main(["traffic", "--chaos", "gremlins"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "unknown chaos profile" in err
+
+
 class TestSched:
     # A deliberately small profile: the defaults (catalog 48, 300 s) are
     # the committed-benchmark stress shape and belong to tools/ci_smoke.

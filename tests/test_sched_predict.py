@@ -251,6 +251,25 @@ class TestDeadlineScheduler:
         assert decision.cost_usd == pytest.approx(decision.predicted_s)
         assert isinstance(decision, ScheduleDecision)
 
+    def test_remaining_budget_downgrades_the_rung(self, features):
+        # A redelivered job's elapsed time is sunk: re-planning against
+        # what is left must drop the rung once the remainder no longer
+        # fits the original choice.
+        scheduler = DeadlineScheduler()
+        rate = RateSpec.for_crf(18)
+        best = scheduler.choose(features, rate, 1e9)
+        budget = best.predicted_s * 1.5
+        fresh = scheduler.choose_remaining(features, rate, budget, 0.0)
+        assert fresh.spec == best.spec  # nothing elapsed, nothing changes
+        replanned = scheduler.choose_remaining(
+            features, rate, budget, budget * 0.9
+        )
+        assert replanned.quality_rank < best.quality_rank
+        # A fully spent (or overspent) budget falls to the fastest rung.
+        spent = scheduler.choose_remaining(features, rate, budget, budget * 2)
+        assert not spent.fits_budget
+        assert spent.spec == scheduler.choose(features, rate, 0.0).spec
+
     def test_validation(self):
         with pytest.raises(ValueError):
             DeadlineScheduler(candidates=())
@@ -258,6 +277,13 @@ class TestDeadlineScheduler:
             DeadlineScheduler(time_scale=0.0)
         with pytest.raises(ValueError):
             DeadlineScheduler(upload_factor=-1.0)
+        with pytest.raises(ValueError):
+            DeadlineScheduler().choose_remaining(
+                extract_features(_clip("natural")),
+                RateSpec.for_crf(18),
+                1.0,
+                -0.5,
+            )
 
 
 # ---------------------------------------------------------------------------

@@ -9,8 +9,11 @@ from repro.traffic import (
     ArrivalConfig,
     Decision,
     AutoscalerConfig,
+    FleetFaultPlan,
     LatencySummary,
+    NAIVE_POLICY,
     QueueDepthAutoscaler,
+    RECOVERY_POLICY,
     ScenarioPolicy,
     SpikeWindow,
     TrafficConfig,
@@ -19,6 +22,7 @@ from repro.traffic import (
     generate_spikes,
     percentile,
     rate_at,
+    resolve_profile,
 )
 
 # ---------------------------------------------------------------------------
@@ -363,6 +367,156 @@ class TestSimulator:
             TrafficConfig(time_scale=0.0)
         with pytest.raises(ValueError):
             TrafficConfig(clip_fps=float("inf"))
+
+
+# ---------------------------------------------------------------------------
+# Fleet chaos
+# ---------------------------------------------------------------------------
+
+#: The LOADED profile with an unreliable fleet underneath it: crashes,
+#: stragglers, preemptions, and one correlated outage per 120 s slot.
+CHAOTIC = TrafficConfig(
+    arrivals=LOADED.arrivals,
+    autoscaler=LOADED.autoscaler,
+    catalog_size=LOADED.catalog_size,
+    fleet=FleetFaultPlan(
+        seed=7,
+        crash_rate=0.15,
+        straggler_rate=0.10,
+        preempt_mean_s=120.0,
+        preempt_notice_s=20.0,
+        outage_spacing_s=120.0,
+        fault_domains=2,
+    ),
+    chaos_profile="test",
+)
+
+
+@pytest.fixture(scope="module")
+def chaotic_report():
+    return TrafficSimulator(CHAOTIC, seed=7).run()
+
+
+class TestChaosSimulator:
+    def test_chaos_runs_are_byte_identical_under_seed(self, chaotic_report):
+        again = TrafficSimulator(CHAOTIC, seed=7).run()
+        assert again.to_json() == chaotic_report.to_json()
+        assert again.digest() == chaotic_report.digest()
+
+    def test_faults_actually_fired(self, chaotic_report):
+        fleet = chaotic_report.fleet
+        assert fleet is not None
+        assert fleet.workers_lost > 0
+        assert fleet.interruptions > 0
+        assert fleet.outages > 0
+        assert chaotic_report.chaos_profile == "test"
+
+    def test_terminal_partition_holds_under_chaos(self, chaotic_report):
+        # Satellite of the partition invariant: chaos adds journeys
+        # (redelivery, hedge cancellation, drained preemption) but every
+        # arrival still lands in exactly one terminal bucket.
+        for stats in chaotic_report.scenarios.values():
+            assert (
+                stats.completed + stats.shed + stats.timed_out
+                + stats.dead_lettered
+            ) == stats.arrived
+            assert stats.redelivered >= 0
+            assert stats.hedge_cancelled >= 0
+            assert stats.preempted_drained >= 0
+
+    def test_redeliveries_bounded_by_policy(self, chaotic_report):
+        fleet = chaotic_report.fleet
+        assert fleet.redeliveries > 0
+        # Dead letters only happen past the delivery bound, and the
+        # fleet's dead letters are a subset of the report's.
+        total_dead = sum(
+            s.dead_lettered for s in chaotic_report.scenarios.values()
+        )
+        assert fleet.redelivery_dead_letters <= total_dead
+
+    def test_availability_is_degraded_but_positive(self, chaotic_report):
+        assert 0.0 < chaotic_report.fleet.availability < 1.0
+        assert chaotic_report.fleet.time_to_recover.count > 0
+
+    def test_scale_down_under_load_never_reclaims_busy(self):
+        # Satellite: drive the fleet up with a spike, then let the
+        # cooldown scale it down while jobs are still in flight.  The
+        # drain-first invariant must hold everywhere the run scales.
+        report = TrafficSimulator(CHAOTIC, seed=11).run()
+        downs = [
+            e for e in report.scale_events
+            if e.to_workers < e.from_workers
+        ]
+        assert downs, "the run never scaled down; the test proves nothing"
+        assert report.fleet.reclaimed_busy == 0
+
+    def test_no_plan_means_no_fleet_section(self, loaded_report):
+        assert loaded_report.fleet is None
+        assert "fleet" not in loaded_report.to_text()
+
+    def test_recovery_policy_beats_naive_on_the_same_faults(self):
+        # The committed chaos-smoke configuration (BENCH_chaos.json):
+        # default load at the "full" profile.  Recovery must beat naive
+        # on both headline SLOs; ci_smoke pins the exact numbers.
+        import dataclasses
+
+        config = TrafficConfig(
+            arrivals=ArrivalConfig(duration_s=300.0),
+            fleet=resolve_profile("full", 7),
+        )
+        naive = TrafficSimulator(
+            dataclasses.replace(config, recovery=NAIVE_POLICY), seed=7
+        ).run()
+        recovery = TrafficSimulator(
+            dataclasses.replace(config, recovery=RECOVERY_POLICY), seed=7
+        ).run()
+        assert recovery.deadline_hit_rate > naive.deadline_hit_rate
+        assert recovery.fleet.availability > naive.fleet.availability
+        assert recovery.fleet.redeliveries > 0
+        assert naive.fleet.redeliveries == 0  # one delivery, then lost
+
+
+class TestEstimatorCleanliness:
+    def test_stretched_runs_never_teach_the_estimator(self):
+        # Regression: a straggler's 20x service time must not poison the
+        # EWMA (it would inflate every later wait estimate and shed
+        # admissible work) nor the hedge-delay sample pool.
+        config = TrafficConfig(
+            arrivals=ArrivalConfig(
+                duration_s=120.0, rps=0.5, spike_spacing_s=0.0
+            ),
+            autoscaler=AutoscalerConfig(min_workers=1, max_workers=2),
+            catalog_size=4,
+            fleet=FleetFaultPlan(seed=1, straggler_rate=1.0,
+                                 straggler_factor=20.0),
+        )
+        sim = TrafficSimulator(config, seed=3)
+        sim.run()
+        # Every delivery straggled: zero clean first deliveries, so the
+        # estimator still sits at its optimistic prior and the hedge
+        # pool is empty.
+        for scenario in (Scenario.UPLOAD, Scenario.LIVE, Scenario.VOD):
+            assert sim.estimator.expected(scenario, 1) == 0.0
+        assert all(not s for s in sim._service_samples.values())
+
+    def test_clean_runs_do_teach_the_estimator(self):
+        config = TrafficConfig(
+            arrivals=ArrivalConfig(
+                duration_s=120.0, rps=0.5, spike_spacing_s=0.0
+            ),
+            autoscaler=AutoscalerConfig(min_workers=1, max_workers=2),
+            catalog_size=4,
+            fleet=FleetFaultPlan(seed=1),  # chaos plumbing, zero faults
+        )
+        sim = TrafficSimulator(config, seed=3)
+        report = sim.run()
+        assert report.completed > 0
+        taught = [
+            scenario
+            for scenario in (Scenario.UPLOAD, Scenario.LIVE, Scenario.VOD)
+            if sim.estimator.expected(scenario, 1) > 0.0
+        ]
+        assert taught  # completions observed, estimates learned
 
 
 class TestBackpressure:

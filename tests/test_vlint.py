@@ -166,6 +166,26 @@ class TestDeterminismRule:
         path.write_text("import time\n\nNOW = time.time()\n")
         assert rules_in(lint_file(path, rules=["VL001"])) == {"VL001"}
 
+    def test_fleet_module_is_in_both_time_scopes(self, tmp_path):
+        # The fleet chaos layer must replay byte-for-byte, so it sits
+        # inside VL001's deterministic packages and VL007's
+        # simulated-time scope (both by the repro.traffic prefix).
+        from repro.analysis.checkers.clock_discipline import (
+            _in_scope as clock_scope,
+        )
+        from repro.analysis.checkers.determinism import (
+            _in_scope as det_scope,
+        )
+
+        assert det_scope("repro.traffic.fleet")
+        assert clock_scope("repro.traffic.fleet")
+        path = tmp_path / "src" / "repro" / "traffic" / "fleet_leak.py"
+        path.parent.mkdir(parents=True)
+        path.write_text(
+            "import numpy as np\n\nRNG = np.random.default_rng()\n"
+        )
+        assert rules_in(lint_file(path, rules=["VL001"])) == {"VL001"}
+
 
 class TestDtypeRule:
     FIXTURE = FIXTURES / "src" / "repro" / "codec" / "bad_dtype.py"

@@ -74,6 +74,35 @@ def _check_codec(record: dict) -> None:
     assert record["metrics"]["bitstream_bytes"] > 0, "empty bitstream"
 
 
+def _check_chaos(record: dict) -> None:
+    arms = record["arms"]
+    deltas = record["deltas"]
+    assert deltas["hit_rate_recovery_vs_naive"] > 0, (
+        "recovery must beat naive on deadline-hit rate under chaos; got "
+        f"{deltas['hit_rate_recovery_vs_naive']}"
+    )
+    assert deltas["availability_recovery_vs_naive"] > 0, (
+        "recovery must beat naive on fleet availability; got "
+        f"{deltas['availability_recovery_vs_naive']}"
+    )
+    for name in ("naive", "recovery"):
+        assert arms[name]["availability"] > 0, (
+            f"the {name} arm reports zero availability -- the chaos "
+            "profile killed the entire run"
+        )
+        assert arms[name]["reclaimed_busy"] == 0, (
+            f"the {name} arm reclaimed a busy replica during scale-down; "
+            "drain-before-retire is an invariant"
+        )
+    # Resilience must come from recovery machinery, not from a blank
+    # check: the bound keeps hedging/redelivery spend honest.
+    extra = deltas["cost_recovery_vs_naive_usd"]
+    budget = 0.25 * arms["naive"]["total_cost_usd"]
+    assert extra <= budget, (
+        f"recovery overspends naive by ${extra}; bound is ${budget}"
+    )
+
+
 def _check_sched(record: dict) -> None:
     deltas = record["deltas"]
     assert deltas["live_hit_rate_improvement"] > 0, (
@@ -135,6 +164,38 @@ SMOKES = (
         ),
         baseline="BENCH_codec.json",
         checks=_check_codec,
+    ),
+    # Fleet chaos three-arm comparison: byte-stable, pinned, and the
+    # recovery policy must beat naive on hits AND availability at a
+    # bounded extra compute spend.
+    Smoke(
+        name="chaos",
+        variants=(
+            _REPRO
+            + (
+                "traffic",
+                "--chaos",
+                "full",
+                "--seed",
+                "7",
+                "--duration",
+                "300",
+                "--json",
+            ),
+            _REPRO
+            + (
+                "traffic",
+                "--chaos",
+                "full",
+                "--seed",
+                "7",
+                "--duration",
+                "300",
+                "--json",
+            ),
+        ),
+        baseline="BENCH_chaos.json",
+        checks=_check_chaos,
     ),
     # Deadline scheduler vs EWMA at the stress profile: byte-stable,
     # pinned, and the predictor must win on hits at equal-or-lower cost.
